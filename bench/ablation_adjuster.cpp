@@ -1,0 +1,88 @@
+// Ablation (paper 4.3): the token-rate adjuster and the packet-level work-conserving
+// fallback. Two probes:
+//  (a) demand diversity (Table 4 workload) - something must return unused channel time,
+//      or utilization collapses;
+//  (b) saturated mixed rates (1vs11 uplink) - the packet-level fallback must NOT engage,
+//      or it re-releases the throttled node's acks and defeats regulation.
+#include "bench_common.h"
+
+namespace {
+
+using namespace tbf;
+using namespace tbf::bench;
+
+scenario::Results RunDemandDiverse(const core::TbrConfig& tbr) {
+  scenario::ScenarioConfig config = StandardConfig(scenario::QdiscKind::kTbr, Sec(25));
+  config.tbr = tbr;
+  config.warmup = Sec(8);
+  scenario::Wlan wlan(config);
+  wlan.AddStation(1, phy::WifiRate::k11Mbps);
+  wlan.AddStation(2, phy::WifiRate::k11Mbps);
+  wlan.AddBulkTcp(1, scenario::Direction::kUplink);
+  auto& f2 = wlan.AddBulkTcp(2, scenario::Direction::kUplink);
+  f2.app_limit_bps = Mbps(2.1);
+  return wlan.Run();
+}
+
+scenario::Results RunMixedRates(const core::TbrConfig& tbr) {
+  scenario::ScenarioConfig config = StandardConfig(scenario::QdiscKind::kTbr, Sec(25));
+  config.tbr = tbr;
+  scenario::Wlan wlan(config);
+  wlan.AddStation(1, phy::WifiRate::k1Mbps);
+  wlan.AddStation(2, phy::WifiRate::k11Mbps);
+  wlan.AddBulkTcp(1, scenario::Direction::kUplink);
+  wlan.AddBulkTcp(2, scenario::Direction::kUplink);
+  return wlan.Run();
+}
+
+}  // namespace
+
+int main() {
+  PrintHeader("Ablation - ADJUSTRATEEVENT and work-conserving fallback",
+              "paper 4.3: the adjuster keeps utilization high under demand diversity; "
+              "analysis here shows the packet-level fallback must stay off for uplink "
+              "regulation to hold");
+
+  struct Variant {
+    const char* name;
+    bool adjust;
+    bool fallback;
+  };
+  const Variant variants[] = {
+      {"adjuster on, fallback off (default)", true, false},
+      {"adjuster off, fallback off", false, false},
+      {"adjuster off, fallback on", false, true},
+      {"adjuster on, fallback on", true, true},
+  };
+
+  std::printf("(a) demand diversity: greedy n1 + 2.1 Mbps-limited n2, both 11 Mbps\n");
+  stats::Table demand({"variant", "n1 Mbps", "n2 Mbps", "total", "utilization"});
+  for (const Variant& v : variants) {
+    core::TbrConfig tbr;
+    tbr.enable_rate_adjust = v.adjust;
+    tbr.work_conserving_fallback = v.fallback;
+    const scenario::Results res = RunDemandDiverse(tbr);
+    demand.AddRow({v.name, stats::Table::Num(res.GoodputMbps(1)),
+                   stats::Table::Num(res.GoodputMbps(2)),
+                   stats::Table::Num(res.AggregateMbps()),
+                   stats::Table::Num(res.utilization)});
+  }
+  demand.Print();
+
+  std::printf("\n(b) saturated mixed rates: 1 Mbps vs 11 Mbps uplink TCP\n");
+  stats::Table mixed({"variant", "airtime n1(slow)", "airtime n2(fast)", "total Mbps"});
+  for (const Variant& v : variants) {
+    core::TbrConfig tbr;
+    tbr.enable_rate_adjust = v.adjust;
+    tbr.work_conserving_fallback = v.fallback;
+    const scenario::Results res = RunMixedRates(tbr);
+    mixed.AddRow({v.name, stats::Table::Num(res.AirtimeShare(1)),
+                  stats::Table::Num(res.AirtimeShare(2)),
+                  stats::Table::Num(res.AggregateMbps())});
+  }
+  mixed.Print();
+  std::printf("\nReading: with the fallback ON, the slow node's airtime reverts toward "
+              "the unregulated ~0.86 - the AP queue usually holds only the throttled "
+              "node's acks, so a packet-level fallback re-releases them.\n");
+  return 0;
+}

@@ -1,0 +1,48 @@
+// Ablation (paper 4.4 / 5): the occupancy estimator's retransmission information. The
+// paper's HostAP implementation had none and reports a slight bias favoring the slower
+// node (Exp-TBR lands just below Eq. 12). With ground-truth per-attempt accounting the
+// bias disappears. Run on lossy links, where retries actually happen.
+#include "bench_common.h"
+
+int main() {
+  using namespace tbf;
+  using namespace tbf::bench;
+
+  PrintHeader("Ablation - occupancy estimation with vs without retransmission info",
+              "paper 4.4/5: without retry info TBR slightly favors the slower/lossier "
+              "node (Exp-TBR < Eq12); firmware retry info closes the gap");
+
+  struct Case {
+    const char* name;
+    double per1;  // Loss on the slow node's link.
+    scenario::Direction dir;
+  };
+  const Case cases[] = {
+      {"1vs11 uplink, clean", 0.0, scenario::Direction::kUplink},
+      {"1vs11 uplink, 15% loss on slow", 0.15, scenario::Direction::kUplink},
+      {"1vs11 downlink, 15% loss on slow", 0.15, scenario::Direction::kDownlink},
+  };
+
+  stats::Table table({"case", "retry info", "airtime n1(slow)", "airtime n2", "n2 Mbps",
+                      "total Mbps"});
+  for (const Case& c : cases) {
+    for (bool retry_info : {false, true}) {
+      scenario::ScenarioConfig config = StandardConfig(scenario::QdiscKind::kTbr, Sec(25));
+      config.tbr.use_retry_info = retry_info;
+      config.tbr.enable_rate_adjust = false;  // Isolate the estimator's effect.
+      scenario::Wlan wlan(config);
+      wlan.AddStation(1, phy::WifiRate::k1Mbps, c.per1);
+      wlan.AddStation(2, phy::WifiRate::k11Mbps);
+      wlan.AddBulkTcp(1, c.dir);
+      wlan.AddBulkTcp(2, c.dir);
+      const scenario::Results res = wlan.Run();
+      table.AddRow({c.name, retry_info ? "yes" : "no (paper)",
+                    stats::Table::Num(res.AirtimeShare(1)),
+                    stats::Table::Num(res.AirtimeShare(2)),
+                    stats::Table::Num(res.GoodputMbps(2)),
+                    stats::Table::Num(res.AggregateMbps())});
+    }
+  }
+  table.Print();
+  return 0;
+}

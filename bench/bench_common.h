@@ -1,0 +1,51 @@
+// Shared helpers for the reproduction benches. Each bench binary regenerates one table or
+// figure from the paper and prints paper-reference values next to measured ones where the
+// paper reports them.
+#ifndef TBF_BENCH_BENCH_COMMON_H_
+#define TBF_BENCH_BENCH_COMMON_H_
+
+#include <cstdio>
+#include <string>
+
+#include "tbf/scenario/wlan.h"
+#include "tbf/stats/table.h"
+
+namespace tbf::bench {
+
+inline scenario::ScenarioConfig StandardConfig(scenario::QdiscKind qdisc,
+                                               TimeNs duration = Sec(30)) {
+  scenario::ScenarioConfig config;
+  config.qdisc = qdisc;
+  config.warmup = Sec(3);
+  config.duration = duration;
+  return config;
+}
+
+// Two stations with one bulk TCP flow each in `dir`.
+inline scenario::Results RunTcpPair(scenario::QdiscKind qdisc, phy::WifiRate r1,
+                                    phy::WifiRate r2, scenario::Direction dir,
+                                    TimeNs duration = Sec(30)) {
+  scenario::Wlan wlan(StandardConfig(qdisc, duration));
+  wlan.AddStation(1, r1);
+  wlan.AddStation(2, r2);
+  wlan.AddBulkTcp(1, dir);
+  wlan.AddBulkTcp(2, dir);
+  return wlan.Run();
+}
+
+inline std::string PairName(phy::WifiRate r1, phy::WifiRate r2) {
+  std::string name(phy::RateName(r1));
+  name = name.substr(0, name.size() - 4);  // Strip "Mbps".
+  std::string other(phy::RateName(r2));
+  other = other.substr(0, other.size() - 4);
+  return name + "vs" + other;
+}
+
+inline void PrintHeader(const char* title, const char* paper_ref) {
+  std::printf("\n=== %s ===\n", title);
+  std::printf("Reproduces: %s\n\n", paper_ref);
+}
+
+}  // namespace tbf::bench
+
+#endif  // TBF_BENCH_BENCH_COMMON_H_

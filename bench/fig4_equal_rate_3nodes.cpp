@@ -1,0 +1,40 @@
+// Figure 4: three equal-rate (11 Mbps) nodes exchanging data with the AP - UDP and TCP,
+// uplink and downlink. Per-node throughputs are approximately equal; TCP trails UDP; the
+// downlink total trails the uplink total (a single sender pays post-backoff every frame).
+#include "bench_common.h"
+
+int main() {
+  using namespace tbf;
+  using namespace tbf::bench;
+
+  PrintHeader("Figure 4 - three 11 Mbps nodes, UDP/TCP x up/down",
+              "paper Fig. 4: roughly equal per-node throughput; TCP < UDP; uplink total > "
+              "downlink total");
+
+  stats::Table table({"workload", "n1 Mbps", "n2 Mbps", "n3 Mbps", "total Mbps"});
+  for (const auto& [transport, tname] : {std::pair{scenario::Transport::kUdp, "UDP"},
+                                         std::pair{scenario::Transport::kTcp, "TCP"}}) {
+    for (const auto& [dir, dname] :
+         {std::pair{scenario::Direction::kDownlink, "Down"},
+          std::pair{scenario::Direction::kUplink, "Up"}}) {
+      // The paper attributes downlink equality to the AP's round-robin queueing.
+      scenario::Wlan wlan(StandardConfig(scenario::QdiscKind::kRoundRobin, Sec(20)));
+      for (NodeId id = 1; id <= 3; ++id) {
+        wlan.AddStation(id, phy::WifiRate::k11Mbps);
+        scenario::FlowSpec spec;
+        spec.client = id;
+        spec.direction = dir;
+        spec.transport = transport;
+        spec.udp_rate = Mbps(9);
+        wlan.AddFlow(spec);
+      }
+      const scenario::Results res = wlan.Run();
+      table.AddRow({std::string(tname) + "_" + dname, stats::Table::Num(res.GoodputMbps(1)),
+                    stats::Table::Num(res.GoodputMbps(2)),
+                    stats::Table::Num(res.GoodputMbps(3)),
+                    stats::Table::Num(res.AggregateMbps())});
+    }
+  }
+  table.Print();
+  return 0;
+}

@@ -1,0 +1,36 @@
+// Figure 8(a)/(b): equal-rate pairs (1vs1, 2vs2, 5.5vs5.5, 11vs11), AP with and without
+// TBR, downlink and uplink. TBR must be overhead-free in the absence of rate diversity.
+#include "bench_common.h"
+
+int main() {
+  using namespace tbf;
+  using namespace tbf::bench;
+
+  PrintHeader("Figure 8 - equal-rate pairs: Exp-Normal vs Exp-TBR",
+              "paper Fig. 8: Exp-TBR and Exp-Normal are almost identical at every rate, "
+              "in both directions");
+
+  const phy::WifiRate rates[] = {phy::WifiRate::k1Mbps, phy::WifiRate::k2Mbps,
+                                 phy::WifiRate::k5_5Mbps, phy::WifiRate::k11Mbps};
+
+  for (const auto& [dir, dname] : {std::pair{scenario::Direction::kDownlink, "downlink"},
+                                   std::pair{scenario::Direction::kUplink, "uplink"}}) {
+    std::printf("--- %s ---\n", dname);
+    stats::Table table(
+        {"case", "Normal n1", "Normal n2", "Normal total", "TBR n1", "TBR n2", "TBR total",
+         "TBR/Normal"});
+    for (phy::WifiRate r : rates) {
+      const scenario::Results normal = RunTcpPair(scenario::QdiscKind::kFifo, r, r, dir);
+      const scenario::Results tbr = RunTcpPair(scenario::QdiscKind::kTbr, r, r, dir);
+      table.AddRow({PairName(r, r), stats::Table::Num(normal.GoodputMbps(1)),
+                    stats::Table::Num(normal.GoodputMbps(2)),
+                    stats::Table::Num(normal.AggregateMbps()),
+                    stats::Table::Num(tbr.GoodputMbps(1)),
+                    stats::Table::Num(tbr.GoodputMbps(2)),
+                    stats::Table::Num(tbr.AggregateMbps()),
+                    stats::Table::Ratio(tbr.AggregateMbps() / normal.AggregateMbps())});
+    }
+    table.Print();
+  }
+  return 0;
+}

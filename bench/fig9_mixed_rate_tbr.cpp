@@ -1,0 +1,49 @@
+// Figure 9(a)/(b): mixed-rate pairs (1vs11, 2vs11, 5.5vs11) in both directions, comparing
+// the Eq. 6 prediction, Exp-Normal (DCF+FIFO), Exp-TBR, and the Eq. 12 prediction.
+#include "bench_common.h"
+
+#include "tbf/model/baseline.h"
+#include "tbf/model/fairness_model.h"
+
+int main() {
+  using namespace tbf;
+  using namespace tbf::bench;
+
+  PrintHeader("Figure 9 - mixed-rate pairs: Eq6 / Exp-Normal / Exp-TBR / Eq12",
+              "paper Fig. 9: downlink totals improve ~6% (5.5vs11), ~35% (2vs11), ~103% "
+              "(1vs11); Exp-Normal tracks Eq6 and Exp-TBR tracks Eq12 (slightly below, "
+              "due to missing retransmission information)");
+
+  const auto& betas = model::PaperTable2Baselines();
+  const phy::WifiRate slow_rates[] = {phy::WifiRate::k1Mbps, phy::WifiRate::k2Mbps,
+                                      phy::WifiRate::k5_5Mbps};
+
+  for (const auto& [dir, dname] : {std::pair{scenario::Direction::kDownlink, "downlink"},
+                                   std::pair{scenario::Direction::kUplink, "uplink"}}) {
+    std::printf("--- %s ---\n", dname);
+    stats::Table table({"case", "Eq6 total", "Normal total", "TBR total", "Eq12 total",
+                        "TBR n1(slow)", "TBR n2(11)", "gain"});
+    for (phy::WifiRate slow : slow_rates) {
+      std::vector<model::NodeModel> nodes = {
+          {betas.at(slow), 1500.0, 1.0},
+          {betas.at(phy::WifiRate::k11Mbps), 1500.0, 1.0}};
+      const double eq6 = model::ThroughputFairAllocation(nodes).total_bps / 1e6;
+      const double eq12 = model::TimeFairAllocation(nodes).total_bps / 1e6;
+
+      const scenario::Results normal =
+          RunTcpPair(scenario::QdiscKind::kFifo, slow, phy::WifiRate::k11Mbps, dir);
+      const scenario::Results tbr =
+          RunTcpPair(scenario::QdiscKind::kTbr, slow, phy::WifiRate::k11Mbps, dir);
+
+      table.AddRow({PairName(slow, phy::WifiRate::k11Mbps), stats::Table::Num(eq6),
+                    stats::Table::Num(normal.AggregateMbps()),
+                    stats::Table::Num(tbr.AggregateMbps()), stats::Table::Num(eq12),
+                    stats::Table::Num(tbr.GoodputMbps(1)),
+                    stats::Table::Num(tbr.GoodputMbps(2)),
+                    stats::Table::PercentDelta(tbr.AggregateMbps() /
+                                               normal.AggregateMbps())});
+    }
+    table.Print();
+  }
+  return 0;
+}

@@ -1,0 +1,131 @@
+// Microbenchmarks (google-benchmark) for the hot paths: the simulator's event queue, the
+// TBR token operations that run per frame at the AP, the DCF contention engine, and the
+// analytic models. These bound TBR's per-packet CPU cost - the practical deployability
+// argument (the paper ran it on a PIII-700 AP).
+#include <benchmark/benchmark.h>
+
+#include "tbf/core/tbr.h"
+#include "tbf/mac/medium.h"
+#include "tbf/model/fairness_model.h"
+#include "tbf/model/task_model.h"
+#include "tbf/net/packet.h"
+#include "tbf/scenario/wlan.h"
+#include "tbf/sim/simulator.h"
+
+namespace {
+
+using namespace tbf;
+
+void BM_EventQueueScheduleRun(benchmark::State& state) {
+  for (auto _ : state) {
+    sim::Simulator sim;
+    for (int i = 0; i < 1000; ++i) {
+      sim.Schedule(Us(i % 97), [] {});
+    }
+    benchmark::DoNotOptimize(sim.RunUntilIdle());
+  }
+  state.SetItemsProcessed(state.iterations() * 1000);
+}
+BENCHMARK(BM_EventQueueScheduleRun);
+
+void BM_EventQueueCancelHeavy(benchmark::State& state) {
+  for (auto _ : state) {
+    sim::Simulator sim;
+    std::vector<sim::EventId> ids;
+    ids.reserve(1000);
+    for (int i = 0; i < 1000; ++i) {
+      ids.push_back(sim.Schedule(Us(i), [] {}));
+    }
+    for (size_t i = 0; i < ids.size(); i += 2) {
+      sim.Cancel(ids[i]);
+    }
+    benchmark::DoNotOptimize(sim.RunUntilIdle());
+  }
+  state.SetItemsProcessed(state.iterations() * 1000);
+}
+BENCHMARK(BM_EventQueueCancelHeavy);
+
+net::PacketPtr MakePacket(NodeId client) {
+  auto p = std::make_shared<net::Packet>();
+  p->wlan_client = client;
+  p->dst = client;
+  p->size_bytes = 1500;
+  return p;
+}
+
+void BM_TbrEnqueueDequeue(benchmark::State& state) {
+  const int clients = static_cast<int>(state.range(0));
+  sim::Simulator sim;
+  core::TimeBasedRegulator tbr(&sim, phy::MixedModeTimings(), {});
+  for (NodeId id = 1; id <= clients; ++id) {
+    tbr.OnAssociate(id);
+  }
+  NodeId next = 1;
+  for (auto _ : state) {
+    tbr.Enqueue(MakePacket(next));
+    next = next % clients + 1;
+    benchmark::DoNotOptimize(tbr.Dequeue());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_TbrEnqueueDequeue)->Arg(2)->Arg(8)->Arg(32);
+
+void BM_TbrOccupancyEstimate(benchmark::State& state) {
+  sim::Simulator sim;
+  core::TimeBasedRegulator tbr(&sim, phy::MixedModeTimings(), {});
+  tbr.OnAssociate(1);
+  tbr.OnAssociate(2);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(tbr.EstimateOccupancy(1536, phy::WifiRate::k11Mbps, 1));
+    benchmark::DoNotOptimize(tbr.EstimateOccupancy(1536, phy::WifiRate::k1Mbps, 2));
+  }
+  state.SetItemsProcessed(state.iterations() * 2);
+}
+BENCHMARK(BM_TbrOccupancyEstimate);
+
+void BM_DcfSaturatedSecond(benchmark::State& state) {
+  // Cost of simulating one second of a saturated two-station cell.
+  for (auto _ : state) {
+    scenario::ScenarioConfig config;
+    config.warmup = 0;
+    config.duration = Sec(1);
+    scenario::Wlan wlan(config);
+    wlan.AddStation(1, phy::WifiRate::k11Mbps);
+    wlan.AddStation(2, phy::WifiRate::k11Mbps);
+    wlan.AddBulkTcp(1, scenario::Direction::kUplink);
+    wlan.AddBulkTcp(2, scenario::Direction::kUplink);
+    benchmark::DoNotOptimize(wlan.Run().aggregate_bps);
+  }
+}
+BENCHMARK(BM_DcfSaturatedSecond)->Unit(benchmark::kMillisecond);
+
+void BM_FairnessModelAllocation(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  std::vector<model::NodeModel> nodes;
+  for (int i = 0; i < n; ++i) {
+    nodes.push_back({1e6 + 1e5 * i, 1500.0, 1.0});
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(model::ThroughputFairAllocation(nodes).total_bps);
+    benchmark::DoNotOptimize(model::TimeFairAllocation(nodes).total_bps);
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_FairnessModelAllocation)->Arg(4)->Arg(64);
+
+void BM_TaskModel(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  std::vector<model::Task> tasks;
+  for (int i = 0; i < n; ++i) {
+    tasks.push_back({1e6 + 2e5 * i, 1e6 + 1e5 * i, 1.0});
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        model::RunTaskModel(tasks, model::FairnessNotion::kTimeFair).avg_task_time_sec);
+  }
+}
+BENCHMARK(BM_TaskModel)->Arg(8)->Arg(64);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,78 @@
+// Table 1: fairness and efficiency measures under the two notions, for the fluid model
+// (aggregate throughput) and the task model (AvgTaskTime / FinalTaskTime). Analytic task
+// model plus a live-simulation cross-check with finite TCP transfers.
+#include "bench_common.h"
+
+#include "tbf/model/baseline.h"
+#include "tbf/model/fairness_model.h"
+#include "tbf/model/task_model.h"
+
+int main() {
+  using namespace tbf;
+  using namespace tbf::bench;
+
+  PrintHeader("Table 1 - measures of fairness and efficiency, RF vs TF (1vs11 case)",
+              "paper Table 1: throughput deltas favor RF, airtime deltas favor TF; "
+              "FinalTaskTime same; AvgTaskTime and AggrThruput better under TF");
+
+  const auto& betas = model::PaperTable2Baselines();
+  const double beta1 = betas.at(phy::WifiRate::k1Mbps);
+  const double beta11 = betas.at(phy::WifiRate::k11Mbps);
+
+  // Task model: equal 4 MB tasks on a 1 Mbps and an 11 Mbps node.
+  const std::vector<model::Task> tasks = {{beta1, 4e6, 1.0}, {beta11, 4e6, 1.0}};
+  const model::TaskOutcome rf = model::RunTaskModel(tasks, model::FairnessNotion::kThroughputFair);
+  const model::TaskOutcome tf = model::RunTaskModel(tasks, model::FairnessNotion::kTimeFair);
+
+  // Fluid model: aggregate sustained throughput.
+  const std::vector<model::NodeModel> nodes = {{beta1, 1500.0, 1.0},
+                                               {beta11, 1500.0, 1.0}};
+  const double rf_aggr = model::ThroughputFairAllocation(nodes).total_bps / 1e6;
+  const double tf_aggr = model::TimeFairAllocation(nodes).total_bps / 1e6;
+
+  stats::Table table({"criteria", "measure", "RF", "TF", "winner"});
+  const double rf_thr_delta = 0.0;  // Equal throughputs by construction under RF.
+  const double tf_thr_delta = (beta11 - beta1) / 2.0 / 1e6;
+  table.AddRow({"fairness", "|R(i)-R(j)| Mbps", stats::Table::Num(rf_thr_delta),
+                stats::Table::Num(tf_thr_delta), "RF"});
+  const std::vector<model::NodeModel> pair = nodes;
+  const auto rf_alloc = model::ThroughputFairAllocation(pair);
+  table.AddRow({"fairness", "|T(i)-T(j)|",
+                stats::Table::Num(std::abs(rf_alloc.channel_time[0] - rf_alloc.channel_time[1])),
+                stats::Table::Num(0.0), "TF"});
+  table.AddRow({"efficiency (task)", "FinalTaskTime s", stats::Table::Num(rf.final_task_time_sec),
+                stats::Table::Num(tf.final_task_time_sec), "same"});
+  table.AddRow({"efficiency (task)", "AvgTaskTime s", stats::Table::Num(rf.avg_task_time_sec),
+                stats::Table::Num(tf.avg_task_time_sec), "TF"});
+  table.AddRow({"efficiency (fluid)", "AggrThruput Mbps", stats::Table::Num(rf_aggr),
+                stats::Table::Num(tf_aggr), "TF"});
+  table.Print();
+
+  // Live cross-check: two finite uplink TCP transfers through the simulated WLAN.
+  std::printf("\nLive task-model cross-check (4 MB tasks, uplink TCP):\n");
+  stats::Table live({"config", "t1 done s (1M)", "t2 done s (11M)", "AvgTaskTime",
+                     "FinalTaskTime"});
+  for (const auto& [kind, name] : {std::pair{scenario::QdiscKind::kFifo, "Exp-Normal(RF)"},
+                                   std::pair{scenario::QdiscKind::kTbr, "Exp-TBR(TF)"}}) {
+    scenario::ScenarioConfig config = StandardConfig(kind, Sec(120));
+    config.warmup = 0;  // Task timing is measured from t=0.
+    scenario::Wlan wlan(config);
+    wlan.AddStation(1, phy::WifiRate::k1Mbps);
+    wlan.AddStation(2, phy::WifiRate::k11Mbps);
+    auto& f1 = wlan.AddBulkTcp(1, scenario::Direction::kUplink);
+    f1.task_bytes = 4'000'000;
+    auto& f2 = wlan.AddBulkTcp(2, scenario::Direction::kUplink);
+    f2.task_bytes = 4'000'000;
+    const scenario::Results res = wlan.Run();
+    double t1 = -1;
+    double t2 = -1;
+    for (const auto& fr : res.flows) {
+      (fr.client == 1 ? t1 : t2) = ToSeconds(fr.completion_time);
+    }
+    live.AddRow({name, stats::Table::Num(t1, 1), stats::Table::Num(t2, 1),
+                 stats::Table::Num((t1 + t2) / 2.0, 1),
+                 stats::Table::Num(std::max(t1, t2), 1)});
+  }
+  live.Print();
+  return 0;
+}

@@ -1,0 +1,29 @@
+// Table 2: the baseline throughput beta(d, 1500, 2) - two nodes exchanging TCP data at
+// the same rate with <2% loss. Compares the simulator's measurement and the analytic
+// first-principles estimate against the paper's testbed numbers.
+#include "bench_common.h"
+
+#include "tbf/model/baseline.h"
+
+int main() {
+  using namespace tbf;
+  using namespace tbf::bench;
+
+  PrintHeader("Table 2 - baseline throughput beta(d, 1500B, n=2)",
+              "paper Table 2: 11 -> 5.189, 5.5 -> 3.327, 2 -> 1.493, 1 -> 0.806 Mbps");
+
+  stats::Table table({"rate", "paper Mbps", "simulated Mbps", "sim/paper", "analytic Mbps",
+                      "analytic/paper"});
+  for (phy::WifiRate r : phy::DsssRates()) {
+    const double paper = model::PaperTable2Baselines().at(r) / 1e6;
+    const scenario::Results res = RunTcpPair(scenario::QdiscKind::kFifo, r, r,
+                                             scenario::Direction::kUplink);
+    const double analytic = model::AnalyticTcpBaseline(r) / 1e6;
+    table.AddRow({std::string(phy::RateName(r)), stats::Table::Num(paper),
+                  stats::Table::Num(res.AggregateMbps()),
+                  stats::Table::Ratio(res.AggregateMbps() / paper),
+                  stats::Table::Num(analytic), stats::Table::Ratio(analytic / paper)});
+  }
+  table.Print();
+  return 0;
+}

@@ -1,0 +1,61 @@
+// Table 3: four nodes at 1, 2, 11, 11 Mbps under RF and TF - the analytic predictions from
+// the paper's Table 2 betas (digit-for-digit), cross-checked against a live four-node
+// simulation with FIFO (RF) and TBR (TF) APs.
+#include "bench_common.h"
+
+#include "tbf/model/baseline.h"
+#include "tbf/model/fairness_model.h"
+
+int main() {
+  using namespace tbf;
+  using namespace tbf::bench;
+
+  PrintHeader("Table 3 - four nodes (1, 2, 11, 11 Mbps): RF vs TF",
+              "paper Table 3: RF 0.436 each, total 1.742; TF 0.202/0.373/1.30/1.30, total "
+              "3.175 (+82%)");
+
+  const auto& betas = model::PaperTable2Baselines();
+  const phy::WifiRate rates[] = {phy::WifiRate::k1Mbps, phy::WifiRate::k2Mbps,
+                                 phy::WifiRate::k11Mbps, phy::WifiRate::k11Mbps};
+
+  std::vector<model::NodeModel> nodes;
+  for (phy::WifiRate r : rates) {
+    nodes.push_back({betas.at(r), 1500.0, 1.0});
+  }
+  const model::Allocation rf = model::ThroughputFairAllocation(nodes);
+  const model::Allocation tf = model::TimeFairAllocation(nodes);
+
+  stats::Table analytic({"notion", "R(n1,1M)", "R(n2,2M)", "R(n3,11M)", "R(n4,11M)",
+                         "total"});
+  auto row = [&](const char* name, const model::Allocation& a) {
+    analytic.AddRow({name, stats::Table::Num(a.throughput_bps[0] / 1e6),
+                     stats::Table::Num(a.throughput_bps[1] / 1e6),
+                     stats::Table::Num(a.throughput_bps[2] / 1e6),
+                     stats::Table::Num(a.throughput_bps[3] / 1e6),
+                     stats::Table::Num(a.total_bps / 1e6)});
+  };
+  std::printf("Analytic (from the paper's Table 2 betas):\n");
+  row("RF (Eq6)", rf);
+  row("TF (Eq12)", tf);
+  analytic.Print();
+  std::printf("TF/RF aggregate gain: %s (paper: +82%%)\n\n",
+              stats::Table::PercentDelta(model::TimeFairGain(nodes)).c_str());
+
+  std::printf("Live simulation (downlink TCP, FIFO = RF vs TBR = TF):\n");
+  stats::Table sim({"notion", "R(n1,1M)", "R(n2,2M)", "R(n3,11M)", "R(n4,11M)", "total"});
+  for (const auto& [kind, name] : {std::pair{scenario::QdiscKind::kFifo, "Exp-Normal"},
+                                   std::pair{scenario::QdiscKind::kTbr, "Exp-TBR"}}) {
+    scenario::Wlan wlan(StandardConfig(kind));
+    for (NodeId id = 1; id <= 4; ++id) {
+      wlan.AddStation(id, rates[id - 1]);
+      wlan.AddBulkTcp(id, scenario::Direction::kDownlink);
+    }
+    const scenario::Results res = wlan.Run();
+    sim.AddRow({name, stats::Table::Num(res.GoodputMbps(1)),
+                stats::Table::Num(res.GoodputMbps(2)), stats::Table::Num(res.GoodputMbps(3)),
+                stats::Table::Num(res.GoodputMbps(4)),
+                stats::Table::Num(res.AggregateMbps())});
+  }
+  sim.Print();
+  return 0;
+}

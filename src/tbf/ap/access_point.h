@@ -1,0 +1,66 @@
+// The access point: DCF station kApId + pluggable transmit qdisc + wired backbone port.
+//
+// Forwarding model (infrastructure WLAN):
+//   wired -> AP:   packets destined to a client are pushed into the qdisc (APPTXEVENT);
+//   AP MAC ready:  the qdisc picks the next eligible packet (MACTXEVENT/HWTXEVENT);
+//   client -> AP:  received uplink frames are forwarded onto the wired link;
+//   completions:   downlink MAC completions and observed uplink exchanges are fed back to
+//                  the qdisc (COMPLETEEVENT), which is all TBR needs to meter occupancy.
+#ifndef TBF_AP_ACCESS_POINT_H_
+#define TBF_AP_ACCESS_POINT_H_
+
+#include <memory>
+
+#include "tbf/ap/qdisc.h"
+#include "tbf/mac/medium.h"
+#include "tbf/net/demux.h"
+#include "tbf/net/wired.h"
+#include "tbf/rateadapt/rate_controller.h"
+#include "tbf/sim/simulator.h"
+
+namespace tbf::ap {
+
+class AccessPoint : public mac::FrameProvider, public mac::FrameSink, public mac::MediumObserver {
+ public:
+  AccessPoint(sim::Simulator* sim, mac::Medium* medium, std::unique_ptr<Qdisc> qdisc,
+              rateadapt::RateController* rates);
+
+  AccessPoint(const AccessPoint&) = delete;
+  AccessPoint& operator=(const AccessPoint&) = delete;
+
+  // Connects the wired backbone; uplink frames are forwarded toward the server side.
+  void ConnectWired(net::WiredLink* link);
+
+  void Associate(NodeId client);
+
+  // Entry point for downlink packets (from the wired link or generated locally).
+  void EnqueueDownlink(net::PacketPtr packet);
+
+  // mac::FrameProvider.
+  std::optional<mac::MacFrame> NextFrame() override;
+  void OnTxComplete(const mac::MacFrame& frame, bool success, int attempts,
+                    TimeNs airtime) override;
+
+  // mac::FrameSink - uplink receptions.
+  void OnFrameReceived(const mac::MacFrame& frame) override;
+
+  // mac::MediumObserver - the driver's view of channel exchanges (uplink accounting).
+  void OnExchange(const mac::ExchangeRecord& record) override;
+
+  Qdisc& qdisc() { return *qdisc_; }
+  mac::DcfEntity& entity() { return entity_; }
+  int64_t downlink_drops() const { return qdisc_->drops(); }
+  int64_t forwarded_uplink() const { return forwarded_uplink_; }
+
+ private:
+  sim::Simulator* sim_;
+  std::unique_ptr<Qdisc> qdisc_;
+  rateadapt::RateController* rates_;
+  net::WiredLink* wired_ = nullptr;
+  int64_t forwarded_uplink_ = 0;
+  mac::DcfEntity entity_;
+};
+
+}  // namespace tbf::ap
+
+#endif  // TBF_AP_ACCESS_POINT_H_

@@ -1,0 +1,197 @@
+#include "tbf/ap/qdisc.h"
+
+#include <algorithm>
+
+namespace tbf::ap {
+
+bool FifoQdisc::Enqueue(net::PacketPtr packet) {
+  if (queue_.size() >= limit_) {
+    CountDrop();
+    return false;
+  }
+  queue_.push_back(std::move(packet));
+  return true;
+}
+
+net::PacketPtr FifoQdisc::Dequeue() {
+  if (queue_.empty()) {
+    return nullptr;
+  }
+  net::PacketPtr p = std::move(queue_.front());
+  queue_.pop_front();
+  return p;
+}
+
+void RoundRobinQdisc::OnAssociate(NodeId client) {
+  if (queues_.emplace(client, std::deque<net::PacketPtr>{}).second) {
+    order_.push_back(client);
+  }
+}
+
+bool RoundRobinQdisc::Enqueue(net::PacketPtr packet) {
+  OnAssociate(packet->wlan_client);
+  auto& q = queues_[packet->wlan_client];
+  if (q.size() >= limit_) {
+    CountDrop();
+    return false;
+  }
+  q.push_back(std::move(packet));
+  return true;
+}
+
+net::PacketPtr RoundRobinQdisc::Dequeue() {
+  if (order_.empty()) {
+    return nullptr;
+  }
+  for (size_t i = 0; i < order_.size(); ++i) {
+    const size_t idx = (next_ + i) % order_.size();
+    auto& q = queues_[order_[idx]];
+    if (!q.empty()) {
+      net::PacketPtr p = std::move(q.front());
+      q.pop_front();
+      next_ = (idx + 1) % order_.size();
+      return p;
+    }
+  }
+  return nullptr;
+}
+
+bool RoundRobinQdisc::HasEligible() const {
+  return std::any_of(queues_.begin(), queues_.end(),
+                     [](const auto& kv) { return !kv.second.empty(); });
+}
+
+size_t RoundRobinQdisc::QueuedPackets() const {
+  size_t n = 0;
+  for (const auto& [id, q] : queues_) {
+    n += q.size();
+  }
+  return n;
+}
+
+void DrrQdisc::OnAssociate(NodeId client) {
+  if (queues_.emplace(client, ClientQueue{}).second) {
+    order_.push_back(client);
+  }
+}
+
+bool DrrQdisc::Enqueue(net::PacketPtr packet) {
+  OnAssociate(packet->wlan_client);
+  auto& q = queues_[packet->wlan_client];
+  if (q.packets.size() >= limit_) {
+    CountDrop();
+    return false;
+  }
+  q.packets.push_back(std::move(packet));
+  return true;
+}
+
+void DrrQdisc::Advance() {
+  queues_[order_[next_]].granted = false;
+  next_ = (next_ + 1) % order_.size();
+}
+
+net::PacketPtr DrrQdisc::Dequeue() {
+  if (order_.empty()) {
+    return nullptr;
+  }
+  // Bounded walk: each queue is visited at most twice (grant, then possibly re-grant
+  // after all others proved empty).
+  for (size_t hops = 0; hops <= 2 * order_.size(); ++hops) {
+    ClientQueue& q = queues_[order_[next_]];
+    if (q.packets.empty()) {
+      q.deficit = 0;
+      Advance();
+      continue;
+    }
+    if (!q.granted) {
+      q.deficit += quantum_;
+      q.granted = true;
+    }
+    if (q.deficit >= q.packets.front()->size_bytes) {
+      net::PacketPtr p = std::move(q.packets.front());
+      q.packets.pop_front();
+      q.deficit -= p->size_bytes;
+      if (q.packets.empty()) {
+        q.deficit = 0;
+        Advance();
+      }
+      return p;
+    }
+    Advance();
+  }
+  return nullptr;
+}
+
+bool DrrQdisc::HasEligible() const {
+  return std::any_of(queues_.begin(), queues_.end(),
+                     [](const auto& kv) { return !kv.second.packets.empty(); });
+}
+
+size_t DrrQdisc::QueuedPackets() const {
+  size_t n = 0;
+  for (const auto& [id, q] : queues_) {
+    n += q.packets.size();
+  }
+  return n;
+}
+
+void BurstRoundRobinQdisc::OnAssociate(NodeId client) {
+  if (queues_.emplace(client, std::deque<net::PacketPtr>{}).second) {
+    order_.push_back(client);
+  }
+}
+
+bool BurstRoundRobinQdisc::Enqueue(net::PacketPtr packet) {
+  OnAssociate(packet->wlan_client);
+  auto& q = queues_[packet->wlan_client];
+  if (q.size() >= limit_) {
+    CountDrop();
+    return false;
+  }
+  q.push_back(std::move(packet));
+  return true;
+}
+
+int BurstRoundRobinQdisc::BurstSizeFor(NodeId client) const {
+  const int64_t rate = rate_lookup_ ? rate_lookup_(client) : base_rate_;
+  const int64_t burst = (rate + base_rate_ - 1) / base_rate_;
+  return static_cast<int>(std::max<int64_t>(burst, 1));
+}
+
+net::PacketPtr BurstRoundRobinQdisc::Dequeue() {
+  if (order_.empty()) {
+    return nullptr;
+  }
+  for (size_t hops = 0; hops <= order_.size(); ++hops) {
+    auto& q = queues_[order_[next_]];
+    if (q.empty() || burst_left_ == 0) {
+      burst_left_ = 0;
+      next_ = (next_ + 1) % order_.size();
+      if (!queues_[order_[next_]].empty()) {
+        burst_left_ = BurstSizeFor(order_[next_]);
+      }
+      continue;
+    }
+    net::PacketPtr p = std::move(q.front());
+    q.pop_front();
+    --burst_left_;
+    return p;
+  }
+  return nullptr;
+}
+
+bool BurstRoundRobinQdisc::HasEligible() const {
+  return std::any_of(queues_.begin(), queues_.end(),
+                     [](const auto& kv) { return !kv.second.empty(); });
+}
+
+size_t BurstRoundRobinQdisc::QueuedPackets() const {
+  size_t n = 0;
+  for (const auto& [id, q] : queues_) {
+    n += q.size();
+  }
+  return n;
+}
+
+}  // namespace tbf::ap

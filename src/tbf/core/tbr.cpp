@@ -1,0 +1,312 @@
+#include "tbf/core/tbr.h"
+
+#include <algorithm>
+
+#include "tbf/util/logging.h"
+
+namespace tbf::core {
+
+TimeBasedRegulator::TimeBasedRegulator(sim::Simulator* sim, phy::MacTimings timings,
+                                       TbrConfig config)
+    : sim_(sim), timings_(timings), config_(config) {}
+
+void TimeBasedRegulator::OnAssociate(NodeId client) {
+  if (clients_.contains(client)) {
+    return;
+  }
+  ClientState st;
+  st.tokens = config_.initial_tokens;
+  clients_.emplace(client, std::move(st));
+  order_.push_back(client);
+  RecomputeFairRates();
+
+  if (!timers_started_) {
+    timers_started_ = true;
+    last_fill_ = sim_->Now();
+    sim_->Schedule(config_.fill_period, [this] { FillEvent(); });
+    if (config_.enable_rate_adjust) {
+      sim_->Schedule(config_.adjust_period, [this] { AdjustRateEvent(); });
+    }
+  }
+}
+
+void TimeBasedRegulator::RecomputeFairRates() {
+  double total_weight = 0.0;
+  for (const auto& [id, st] : clients_) {
+    total_weight += st.weight;
+  }
+  if (total_weight <= 0.0) {
+    return;
+  }
+  for (auto& [id, st] : clients_) {
+    st.rate = st.weight / total_weight;
+  }
+}
+
+void TimeBasedRegulator::SetWeight(NodeId client, double weight) {
+  OnAssociate(client);
+  clients_[client].weight = weight;
+  RecomputeFairRates();
+}
+
+bool TimeBasedRegulator::Enqueue(net::PacketPtr packet) {
+  OnAssociate(packet->wlan_client);
+  ClientState& st = clients_[packet->wlan_client];
+  if (st.queue.size() >= config_.per_queue_limit) {
+    CountDrop();
+    return false;
+  }
+  st.queue.push_back(std::move(packet));
+  return true;
+}
+
+net::PacketPtr TimeBasedRegulator::Dequeue() {
+  if (order_.empty()) {
+    return nullptr;
+  }
+  // Round-robin over queues with positive channel-time credit (Fig. 6, MACTXEVENT).
+  for (size_t i = 0; i < order_.size(); ++i) {
+    const size_t idx = (next_ + i) % order_.size();
+    ClientState& st = clients_[order_[idx]];
+    if (Eligible(st)) {
+      net::PacketPtr p = std::move(st.queue.front());
+      st.queue.pop_front();
+      next_ = (idx + 1) % order_.size();
+      return p;
+    }
+  }
+  if (!config_.work_conserving_fallback) {
+    return nullptr;
+  }
+  // No positive-credit queue: rather than idle the channel, serve the backlogged client
+  // closest to eligibility (largest token balance).
+  NodeId best = kInvalidNodeId;
+  TimeNs best_tokens = 0;
+  for (auto& [id, st] : clients_) {
+    if (!st.queue.empty() && (best == kInvalidNodeId || st.tokens > best_tokens)) {
+      best = id;
+      best_tokens = st.tokens;
+    }
+  }
+  if (best == kInvalidNodeId) {
+    return nullptr;
+  }
+  ClientState& st = clients_[best];
+  net::PacketPtr p = std::move(st.queue.front());
+  st.queue.pop_front();
+  return p;
+}
+
+bool TimeBasedRegulator::HasEligible() const {
+  for (const auto& [id, st] : clients_) {
+    if (Eligible(st)) {
+      return true;
+    }
+  }
+  if (config_.work_conserving_fallback) {
+    for (const auto& [id, st] : clients_) {
+      if (!st.queue.empty()) {
+        return true;
+      }
+    }
+  }
+  return false;
+}
+
+size_t TimeBasedRegulator::QueuedPackets() const {
+  size_t n = 0;
+  for (const auto& [id, st] : clients_) {
+    n += st.queue.size();
+  }
+  return n;
+}
+
+TimeNs TimeBasedRegulator::EstimateOccupancy(int mac_frame_bytes, phy::WifiRate rate,
+                                             int attempts) const {
+  TimeNs per_attempt = phy::DataExchangeAirtime(mac_frame_bytes, rate, timings_);
+  if (config_.charge_contention_overhead) {
+    // Deterministic allowance for the IFS + backoff idle an exchange consumes. Under
+    // contention the expected idle is roughly the solo expectation divided by the number
+    // of contenders (minimum of independent uniform draws), so scale by the cell size;
+    // what matters for fairness is that the estimate is applied uniformly to all nodes.
+    const auto contenders = static_cast<TimeNs>(std::max<size_t>(clients_.size(), 1));
+    per_attempt += timings_.Difs() + (timings_.cw_min / 2) * timings_.slot / contenders;
+  }
+  return per_attempt * std::max(attempts, 1);
+}
+
+void TimeBasedRegulator::Charge(NodeId client, TimeNs occupancy) {
+  auto it = clients_.find(client);
+  if (it == clients_.end()) {
+    return;
+  }
+  it->second.tokens -= occupancy;
+  it->second.actual += occupancy;
+  if (config_.client_agent) {
+    MaybePauseClient(client);
+  }
+}
+
+void TimeBasedRegulator::OnTxComplete(const mac::MacFrame& frame, bool /*success*/,
+                                      int attempts, TimeNs /*airtime*/) {
+  // Downlink completion. Without retry info the driver charges a single attempt.
+  const int charged_attempts = config_.use_retry_info ? attempts : 1;
+  Charge(frame.packet->wlan_client,
+         EstimateOccupancy(frame.frame_bytes, frame.rate, charged_attempts));
+}
+
+void TimeBasedRegulator::OnUplinkObserved(const mac::ExchangeRecord& record) {
+  if (config_.use_retry_info) {
+    // Firmware exposes per-attempt information: charge ground-truth airtime of every
+    // attempt, including corrupted ones.
+    Charge(record.owner, record.airtime);
+    return;
+  }
+  // Driver-only view: the AP sees (and can size) only successfully received data frames.
+  if (record.collision || record.data_lost) {
+    return;
+  }
+  Charge(record.owner, EstimateOccupancy(record.frame_bytes, record.rate, 1));
+}
+
+void TimeBasedRegulator::FillEvent() {
+  const TimeNs now = sim_->Now();
+  const TimeNs dt = now - last_fill_;
+  last_fill_ = now;
+  bool became_eligible = false;
+  for (auto& [id, st] : clients_) {
+    const bool was = Eligible(st);
+    st.tokens += static_cast<TimeNs>(st.rate * static_cast<double>(dt));
+    if (st.tokens > config_.bucket_depth) {
+      st.tokens = config_.bucket_depth;
+    }
+    became_eligible = became_eligible || (!was && Eligible(st));
+  }
+  if (became_eligible) {
+    NotifyBacklog();
+  }
+  sim_->Schedule(config_.fill_period, [this] { FillEvent(); });
+}
+
+void TimeBasedRegulator::AdjustRateEvent() {
+  const double window = static_cast<double>(config_.adjust_period);
+  // Excess = assigned share minus consumed share over the window (Fig. 7).
+  std::vector<NodeId> under;   // excess >= Rth.
+  std::vector<NodeId> full;    // consumed close to assignment: I'.
+  NodeId max_excess_node = kInvalidNodeId;
+  double max_excess = 0.0;
+  double min_excess = 0.0;
+  double total_usage = 0.0;
+  for (auto& [id, st] : clients_) {
+    const double usage = static_cast<double>(st.actual) / window;
+    if (st.smoothed_usage < 0.0) {
+      st.smoothed_usage = st.rate;  // Assume full use until evidence accumulates.
+    }
+    st.smoothed_usage += config_.usage_ewma_alpha * (usage - st.smoothed_usage);
+    total_usage += st.smoothed_usage;
+    const double excess = st.rate - st.smoothed_usage;
+    if (excess >= config_.adjust_threshold) {
+      under.push_back(id);
+      if (under.size() == 1 || excess < min_excess) {
+        min_excess = excess;
+      }
+      if (max_excess_node == kInvalidNodeId || excess > max_excess) {
+        max_excess = excess;
+        max_excess_node = id;
+      }
+    } else {
+      full.push_back(id);
+    }
+  }
+
+  const bool channel_has_headroom = total_usage < config_.saturation_guard;
+  if (!under.empty() && !full.empty() && channel_has_headroom) {
+    // Donate half of the smallest under-utilizer's excess from the *largest*
+    // under-utilizer, split equally among fully-utilizing nodes (Fig. 7). The max-min
+    // guard: a donor's rate never drops below what it demonstrably uses plus a margin,
+    // so estimator noise or transport burstiness cannot bleed away a busy node's share.
+    double donation = min_excess / 2.0;
+    ClientState& donor = clients_[max_excess_node];
+    donation = std::min(donation, max_excess - config_.adjust_threshold / 2.0);
+    donation = std::min(donation, donor.rate - config_.min_rate);
+    if (donation > 0.0) {
+      donor.rate -= donation;
+      const double share = donation / static_cast<double>(full.size());
+      for (NodeId id : full) {
+        clients_[id].rate += share;
+      }
+    }
+  }
+
+  if (config_.maxmin_repair) {
+    // A fully-utilizing node sitting below its weighted fair share is starved; reclaim
+    // from nodes holding more than fair share, proportionally to their surplus. This
+    // restores the paper's max-min constraint after demand shifts.
+    double total_weight = 0.0;
+    for (const auto& [id, st] : clients_) {
+      total_weight += st.weight;
+    }
+    for (NodeId id : full) {
+      ClientState& st = clients_[id];
+      const double fair = st.weight / total_weight;
+      if (st.rate >= fair) {
+        continue;
+      }
+      double want = std::min(config_.repair_step, fair - st.rate);
+      double surplus_total = 0.0;
+      for (auto& [jid, jst] : clients_) {
+        const double jfair = jst.weight / total_weight;
+        if (jid != id && jst.rate > jfair) {
+          surplus_total += jst.rate - jfair;
+        }
+      }
+      if (surplus_total <= 0.0) {
+        continue;
+      }
+      want = std::min(want, surplus_total);
+      for (auto& [jid, jst] : clients_) {
+        const double jfair = jst.weight / total_weight;
+        if (jid != id && jst.rate > jfair) {
+          jst.rate -= want * (jst.rate - jfair) / surplus_total;
+        }
+      }
+      st.rate += want;
+    }
+  }
+
+  for (auto& [id, st] : clients_) {
+    st.actual = 0;
+  }
+  sim_->Schedule(config_.adjust_period, [this] { AdjustRateEvent(); });
+}
+
+void TimeBasedRegulator::MaybePauseClient(NodeId client) {
+  if (!client_pause_) {
+    return;
+  }
+  const ClientState& st = clients_[client];
+  if (st.tokens >= 0 || st.rate <= 0.0) {
+    return;
+  }
+  // Pause the client until its bucket is projected to refill to zero.
+  const TimeNs debt = -st.tokens;
+  const TimeNs pause = static_cast<TimeNs>(static_cast<double>(debt) / st.rate);
+  client_pause_(client, sim_->Now() + pause);
+}
+
+TimeNs TimeBasedRegulator::tokens(NodeId client) const {
+  auto it = clients_.find(client);
+  return it == clients_.end() ? 0 : it->second.tokens;
+}
+
+double TimeBasedRegulator::rate(NodeId client) const {
+  auto it = clients_.find(client);
+  return it == clients_.end() ? 0.0 : it->second.rate;
+}
+
+TimeNs TimeBasedRegulator::actual_usage(NodeId client) const {
+  auto it = clients_.find(client);
+  return it == clients_.end() ? 0 : it->second.actual;
+}
+
+}  // namespace tbf::core

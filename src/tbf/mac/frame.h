@@ -1,0 +1,34 @@
+// MAC-layer data frame descriptor handed between hosts and the DCF engine.
+#ifndef TBF_MAC_FRAME_H_
+#define TBF_MAC_FRAME_H_
+
+#include "tbf/net/packet.h"
+#include "tbf/phy/rates.h"
+#include "tbf/phy/timing.h"
+#include "tbf/util/units.h"
+
+namespace tbf::mac {
+
+struct MacFrame {
+  NodeId src = kInvalidNodeId;
+  NodeId dst = kInvalidNodeId;
+  int frame_bytes = 0;  // MAC header + LLC + payload + FCS.
+  phy::WifiRate rate = phy::WifiRate::k1Mbps;
+  net::PacketPtr packet;
+};
+
+// Wraps a network packet into a MAC data frame at the given PHY rate.
+inline MacFrame MakeDataFrame(NodeId src, NodeId dst, net::PacketPtr packet,
+                              phy::WifiRate rate) {
+  MacFrame f;
+  f.src = src;
+  f.dst = dst;
+  f.frame_bytes = packet->size_bytes + phy::kMacDataOverheadBytes;
+  f.rate = rate;
+  f.packet = std::move(packet);
+  return f;
+}
+
+}  // namespace tbf::mac
+
+#endif  // TBF_MAC_FRAME_H_

@@ -1,0 +1,293 @@
+#include "tbf/mac/medium.h"
+
+#include <algorithm>
+
+#include "tbf/util/logging.h"
+
+namespace tbf::mac {
+
+Medium::Medium(sim::Simulator* sim, phy::MacTimings timings, const phy::LossModel* loss,
+               sim::Rng* rng)
+    : sim_(sim), timings_(timings), loss_(loss), rng_(rng) {}
+
+void Medium::Attach(DcfEntity* entity) {
+  TBF_CHECK(entities_.emplace(entity->id(), entity).second) << "duplicate node id";
+}
+
+void Medium::EnterContention(DcfEntity* entity) {
+  if (std::find(contenders_.begin(), contenders_.end(), entity) == contenders_.end()) {
+    contenders_.push_back(entity);
+  }
+  entity->in_contention_ = true;
+  if (!busy_) {
+    ScheduleAccessDecision();
+  }
+}
+
+void Medium::LeaveContention(DcfEntity* entity) {
+  auto it = std::find(contenders_.begin(), contenders_.end(), entity);
+  if (it != contenders_.end()) {
+    contenders_.erase(it);
+  }
+  entity->in_contention_ = false;
+  if (!busy_) {
+    ScheduleAccessDecision();
+  }
+}
+
+NodeId Medium::OwnerOf(const MacFrame& frame) {
+  if (frame.packet != nullptr && frame.packet->wlan_client != kInvalidNodeId) {
+    return frame.packet->wlan_client;
+  }
+  return frame.src == kApId ? frame.dst : frame.src;
+}
+
+void Medium::ScheduleAccessDecision() {
+  if (access_event_ != sim::kInvalidEventId) {
+    sim_->Cancel(access_event_);
+    access_event_ = sim::kInvalidEventId;
+  }
+  if (busy_ || contenders_.empty()) {
+    return;
+  }
+  TimeNs earliest = 0;
+  bool found = false;
+  for (DcfEntity* e : contenders_) {
+    const TimeNs t = e->AccessTime(idle_start_, timings_.slot);
+    if (!found || t < earliest) {
+      earliest = t;
+      found = true;
+    }
+  }
+  if (earliest < sim_->Now()) {
+    earliest = sim_->Now();
+  }
+  access_event_ = sim_->ScheduleAt(earliest, [this] {
+    access_event_ = sim::kInvalidEventId;
+    OnAccessInstant();
+  });
+}
+
+void Medium::OnAccessInstant() {
+  if (busy_ || contenders_.empty()) {
+    return;
+  }
+  const TimeNs now = sim_->Now();
+  std::vector<DcfEntity*> winners;
+  for (DcfEntity* e : contenders_) {
+    if (e->AccessTime(idle_start_, timings_.slot) <= now) {
+      winners.push_back(e);
+    }
+  }
+  if (winners.empty()) {
+    ScheduleAccessDecision();
+    return;
+  }
+  // Non-winners consume the idle slots that elapsed while they counted down.
+  for (DcfEntity* e : contenders_) {
+    if (std::find(winners.begin(), winners.end(), e) == winners.end()) {
+      e->ConsumeSlots(e->SlotsElapsed(idle_start_, timings_.slot, now));
+    }
+  }
+  for (DcfEntity* w : winners) {
+    auto it = std::find(contenders_.begin(), contenders_.end(), w);
+    TBF_CHECK(it != contenders_.end());
+    contenders_.erase(it);
+    w->in_contention_ = false;
+    w->transmitting_ = true;
+  }
+  BeginExchange(winners, now - idle_start_);
+}
+
+void Medium::BeginExchange(const std::vector<DcfEntity*>& winners, TimeNs idle_consumed) {
+  const TimeNs now = sim_->Now();
+  busy_ = true;
+  ++exchanges_;
+
+  const bool collision = winners.size() > 1;
+  if (collision) {
+    ++collisions_;
+  }
+
+  TimeNs busy_until = now;
+  bool any_corrupted = false;
+
+  for (DcfEntity* w : winners) {
+    TBF_CHECK(w->pending_.has_value());
+    const MacFrame& frame = *w->pending_;
+    const TimeNs data_air = phy::FrameAirtime(frame.frame_bytes, frame.rate);
+    const TimeNs data_end = now + data_air;
+
+    ExchangeRecord record;
+    record.tx_start = now;
+    record.idle_before = collision ? idle_consumed / static_cast<TimeNs>(winners.size())
+                                   : idle_consumed;
+    record.tx = frame.src;
+    record.rx = frame.dst;
+    record.owner = OwnerOf(frame);
+    record.collision = collision;
+    record.attempt = w->retry_;
+    record.frame_bytes = frame.frame_bytes;
+    record.rate = frame.rate;
+    record.packet = frame.packet;
+
+    bool data_lost = collision;
+    bool ack_lost = false;
+    auto rx_it = entities_.find(frame.dst);
+    if (!data_lost) {
+      if (rx_it == entities_.end()) {
+        data_lost = true;
+      } else {
+        data_lost = rng_->Bernoulli(
+            loss_->FrameLossProb(frame.src, frame.dst, frame.frame_bytes, frame.rate));
+      }
+    }
+
+    TimeNs this_busy_end = data_end;
+    if (!data_lost) {
+      // Receiver ACKs after SIFS; the data frame is delivered up the stack either way.
+      this_busy_end = data_end + timings_.sifs + phy::AckAirtime(frame.rate);
+      ack_lost = rng_->Bernoulli(loss_->FrameLossProb(
+          frame.dst, frame.src, phy::kMacAckFrameBytes, phy::AckRateFor(frame.rate)));
+      DcfEntity* receiver = rx_it->second;
+      const MacFrame delivered = frame;
+      sim_->ScheduleAt(data_end, [receiver, delivered] {
+        if (receiver->sink_ != nullptr) {
+          receiver->sink_->OnFrameReceived(delivered);
+        }
+      });
+    } else {
+      any_corrupted = true;
+    }
+
+    record.data_lost = data_lost;
+    record.ack_lost = ack_lost;
+    record.success = !data_lost && !ack_lost;
+    record.busy_end = this_busy_end;
+    record.airtime = record.idle_before + (this_busy_end - now);
+
+    busy_until = std::max(busy_until, this_busy_end);
+    airtime_.Charge(record.owner, record.airtime);
+
+    // The transmitter learns the outcome from the ACK (or its absence).
+    DcfEntity* w_ptr = w;
+    const TimeNs charged = record.airtime;
+    if (record.success) {
+      sim_->ScheduleAt(this_busy_end, [w_ptr, charged] { w_ptr->OnTxOutcome(true, charged); });
+    } else {
+      const TimeNs outcome_at = data_end + phy::AckTimeout(frame.rate, timings_);
+      sim_->ScheduleAt(outcome_at, [w_ptr, charged] { w_ptr->OnTxOutcome(false, charged); });
+    }
+
+    for (MediumObserver* obs : observers_) {
+      ExchangeRecord copy = record;
+      sim_->ScheduleAt(this_busy_end, [obs, copy] { obs->OnExchange(copy); });
+    }
+  }
+
+  busy_time_ += busy_until - now;
+  sim_->ScheduleAt(busy_until, [this, any_corrupted, winners] {
+    FinishExchange(any_corrupted, winners);
+  });
+}
+
+void Medium::FinishExchange(bool corrupted, const std::vector<DcfEntity*>& winners) {
+  busy_ = false;
+  idle_start_ = sim_->Now();
+  for (auto& [id, entity] : entities_) {
+    const bool was_winner =
+        std::find(winners.begin(), winners.end(), entity) != winners.end();
+    entity->next_ifs_ = (corrupted && !was_winner) ? timings_.Eifs() : timings_.Difs();
+  }
+  ScheduleAccessDecision();
+}
+
+DcfEntity::DcfEntity(Medium* medium, NodeId id, FrameProvider* provider, FrameSink* sink)
+    : medium_(medium),
+      id_(id),
+      provider_(provider),
+      sink_(sink),
+      next_ifs_(medium->timings().Difs()),
+      cw_(medium->timings().cw_min) {
+  medium_->Attach(this);
+}
+
+void DcfEntity::NotifyBacklog() { MaybeStartAccess(); }
+
+void DcfEntity::MaybeStartAccess() {
+  if (transmitting_ || in_contention_) {
+    return;
+  }
+  if (!pending_.has_value()) {
+    pending_ = provider_->NextFrame();
+    if (!pending_.has_value()) {
+      return;
+    }
+  }
+  DrawBackoff();
+  join_time_ = medium_->simulator()->Now();
+  medium_->EnterContention(this);
+}
+
+void DcfEntity::DrawBackoff() {
+  backoff_slots_ = medium_->rng()->UniformInt(0, cw_);
+}
+
+void DcfEntity::OnTxOutcome(bool success, TimeNs airtime_used) {
+  transmitting_ = false;
+  airtime_accumulated_ += airtime_used;
+  const phy::MacTimings& t = medium_->timings();
+  if (success) {
+    ++frames_sent_;
+    const MacFrame done = *pending_;
+    const int attempts = retry_ + 1;
+    const TimeNs total_airtime = airtime_accumulated_;
+    pending_.reset();
+    retry_ = 0;
+    cw_ = t.cw_min;
+    airtime_accumulated_ = 0;
+    provider_->OnTxComplete(done, true, attempts, total_airtime);
+    MaybeStartAccess();
+    return;
+  }
+  ++retransmissions_;
+  ++retry_;
+  if (retry_ > t.retry_limit) {
+    ++frames_dropped_;
+    const MacFrame dropped = *pending_;
+    const int attempts = retry_;
+    const TimeNs total_airtime = airtime_accumulated_;
+    pending_.reset();
+    retry_ = 0;
+    cw_ = t.cw_min;
+    airtime_accumulated_ = 0;
+    provider_->OnTxComplete(dropped, false, attempts, total_airtime);
+    MaybeStartAccess();
+    return;
+  }
+  cw_ = std::min(2 * cw_ + 1, t.cw_max);
+  DrawBackoff();
+  join_time_ = medium_->simulator()->Now();
+  medium_->EnterContention(this);
+}
+
+void DcfEntity::ConsumeSlots(int64_t slots) {
+  if (slots > 0) {
+    backoff_slots_ = std::max<int64_t>(0, backoff_slots_ - slots);
+  }
+}
+
+TimeNs DcfEntity::AccessTime(TimeNs idle_start, TimeNs slot) const {
+  const TimeNs base = std::max(idle_start, join_time_);
+  return base + next_ifs_ + backoff_slots_ * slot;
+}
+
+int64_t DcfEntity::SlotsElapsed(TimeNs idle_start, TimeNs slot, TimeNs now) const {
+  const TimeNs countdown_start = std::max(idle_start, join_time_) + next_ifs_;
+  if (now <= countdown_start) {
+    return 0;
+  }
+  return (now - countdown_start) / slot;
+}
+
+}  // namespace tbf::mac

@@ -1,0 +1,194 @@
+// Shared wireless medium plus the DCF contention engine.
+//
+// Model: a single collision domain (every station hears every other; no hidden terminals,
+// matching the paper's single-cell experiments). Contention is resolved per "access round"
+// instead of per-slot events: every contender holds a frozen backoff-slot count; when the
+// medium is idle, a contender's access instant is
+//
+//     max(idle_start, join_time) + IFS + slots * slot_time
+//
+// The medium schedules one event at the earliest access instant. Ties transmit together and
+// collide. Non-winners decrement their counters by the number of slots that elapsed. This is
+// exact for DCF semantics and costs O(contenders) per exchange.
+//
+// A data exchange occupies the medium for DATA [+ SIFS + ACK if the data survives]. Failed
+// receptions impose EIFS on third parties; the transmitter discovers failure via ACK timeout
+// and retries with a doubled contention window, up to the retry limit. After every
+// transmission the winner draws a fresh post-backoff (802.11 post-transmit backoff), which
+// is why a single saturating sender cannot fully occupy the channel (paper Fig. 4).
+#ifndef TBF_MAC_MEDIUM_H_
+#define TBF_MAC_MEDIUM_H_
+
+#include <map>
+#include <optional>
+#include <vector>
+
+#include "tbf/mac/frame.h"
+#include "tbf/phy/channel.h"
+#include "tbf/phy/timing.h"
+#include "tbf/sim/random.h"
+#include "tbf/sim/simulator.h"
+#include "tbf/stats/meters.h"
+
+namespace tbf::mac {
+
+class DcfEntity;
+
+// Everything observable about one completed channel exchange; consumed by stats, the
+// trace logger and TBR's uplink occupancy accounting.
+struct ExchangeRecord {
+  TimeNs tx_start = 0;    // When the data PPDU hit the air.
+  TimeNs busy_end = 0;    // End of data (+ ACK when present).
+  TimeNs idle_before = 0; // IFS + backoff idle time consumed ahead of this exchange.
+  NodeId tx = kInvalidNodeId;
+  NodeId rx = kInvalidNodeId;
+  NodeId owner = kInvalidNodeId;  // Client charged with the airtime.
+  bool collision = false;
+  bool data_lost = false;
+  bool ack_lost = false;
+  bool success = false;
+  int attempt = 0;  // 0 = first transmission.
+  int frame_bytes = 0;
+  phy::WifiRate rate = phy::WifiRate::k1Mbps;
+  net::PacketPtr packet;
+  TimeNs airtime = 0;  // idle_before + busy time charged to owner.
+};
+
+class MediumObserver {
+ public:
+  virtual ~MediumObserver() = default;
+  virtual void OnExchange(const ExchangeRecord& record) = 0;
+};
+
+class Medium {
+ public:
+  Medium(sim::Simulator* sim, phy::MacTimings timings, const phy::LossModel* loss,
+         sim::Rng* rng);
+
+  Medium(const Medium&) = delete;
+  Medium& operator=(const Medium&) = delete;
+
+  void Attach(DcfEntity* entity);
+  void AddObserver(MediumObserver* observer) { observers_.push_back(observer); }
+
+  // Entity (re-)enters contention with a frame and a drawn backoff. Idempotent.
+  void EnterContention(DcfEntity* entity);
+  void LeaveContention(DcfEntity* entity);
+
+  bool IsBusy() const { return busy_; }
+  const phy::MacTimings& timings() const { return timings_; }
+  sim::Simulator* simulator() { return sim_; }
+  sim::Rng* rng() { return rng_; }
+
+  // Ground-truth per-client airtime (paper's channel occupancy definition).
+  const stats::AirtimeMeter& airtime_meter() const { return airtime_; }
+  stats::AirtimeMeter& airtime_meter() { return airtime_; }
+
+  // Total time the channel was carrying energy (utilization numerator).
+  TimeNs busy_time() const { return busy_time_; }
+  int64_t collisions() const { return collisions_; }
+  int64_t exchanges() const { return exchanges_; }
+
+ private:
+  friend class DcfEntity;
+
+  void ScheduleAccessDecision();
+  void OnAccessInstant();
+  void BeginExchange(const std::vector<DcfEntity*>& winners, TimeNs idle_consumed);
+  void FinishExchange(bool corrupted, const std::vector<DcfEntity*>& winners);
+
+  // Owner attribution: the client node whose traffic the frame carries.
+  static NodeId OwnerOf(const MacFrame& frame);
+
+  sim::Simulator* sim_;
+  phy::MacTimings timings_;
+  const phy::LossModel* loss_;
+  sim::Rng* rng_;
+
+  std::map<NodeId, DcfEntity*> entities_;
+  std::vector<DcfEntity*> contenders_;
+  std::vector<MediumObserver*> observers_;
+
+  bool busy_ = false;
+  TimeNs idle_start_ = 0;
+  sim::EventId access_event_ = sim::kInvalidEventId;
+
+  stats::AirtimeMeter airtime_;
+  TimeNs busy_time_ = 0;
+  int64_t collisions_ = 0;
+  int64_t exchanges_ = 0;
+};
+
+// Upper-layer interfaces the DCF engine pulls frames from / delivers frames to.
+class FrameProvider {
+ public:
+  virtual ~FrameProvider() = default;
+  // Next frame to transmit, or nullopt when no frame is ready. Called once per access
+  // cycle; the returned frame is owned by the DCF entity until completion.
+  virtual std::optional<MacFrame> NextFrame() = 0;
+  // Reports the fate of a frame: delivered (success) or dropped after retry exhaustion.
+  // `attempts` counts transmissions (>= 1); `airtime` is the total channel time consumed.
+  virtual void OnTxComplete(const MacFrame& frame, bool success, int attempts,
+                            TimeNs airtime) = 0;
+};
+
+class FrameSink {
+ public:
+  virtual ~FrameSink() = default;
+  virtual void OnFrameReceived(const MacFrame& frame) = 0;
+};
+
+// One DCF station (a client or the AP). Owns the CSMA/CA state machine for its queue head.
+class DcfEntity {
+ public:
+  DcfEntity(Medium* medium, NodeId id, FrameProvider* provider, FrameSink* sink);
+
+  DcfEntity(const DcfEntity&) = delete;
+  DcfEntity& operator=(const DcfEntity&) = delete;
+
+  NodeId id() const { return id_; }
+
+  // Signals that the provider may now have frames. Safe to call redundantly.
+  void NotifyBacklog();
+
+  // Stats.
+  int64_t frames_sent() const { return frames_sent_; }
+  int64_t frames_dropped() const { return frames_dropped_; }
+  int64_t retransmissions() const { return retransmissions_; }
+
+ private:
+  friend class Medium;
+
+  // Pulls the next frame (if idle) and enters contention.
+  void MaybeStartAccess();
+  void DrawBackoff();
+  void OnTxOutcome(bool success, TimeNs airtime_used);
+  void ConsumeSlots(int64_t slots);
+
+  // Earliest instant this contender may transmit, given the current idle period.
+  TimeNs AccessTime(TimeNs idle_start, TimeNs slot) const;
+  int64_t SlotsElapsed(TimeNs idle_start, TimeNs slot, TimeNs now) const;
+
+  Medium* medium_;
+  NodeId id_;
+  FrameProvider* provider_;
+  FrameSink* sink_;
+
+  std::optional<MacFrame> pending_;
+  bool in_contention_ = false;
+  bool transmitting_ = false;
+  int64_t backoff_slots_ = 0;
+  TimeNs join_time_ = 0;
+  TimeNs next_ifs_ = 0;  // DIFS normally, EIFS after observing a corrupted frame.
+  int cw_ = 31;
+  int retry_ = 0;
+  TimeNs airtime_accumulated_ = 0;  // Occupancy across attempts of the pending frame.
+
+  int64_t frames_sent_ = 0;
+  int64_t frames_dropped_ = 0;
+  int64_t retransmissions_ = 0;
+};
+
+}  // namespace tbf::mac
+
+#endif  // TBF_MAC_MEDIUM_H_

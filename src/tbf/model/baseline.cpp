@@ -1,0 +1,55 @@
+#include "tbf/model/baseline.h"
+
+#include "tbf/net/packet.h"
+
+namespace tbf::model {
+
+const std::map<phy::WifiRate, double>& PaperTable2Baselines() {
+  static const std::map<phy::WifiRate, double> kTable = {
+      {phy::WifiRate::k11Mbps, 5.189e6},
+      {phy::WifiRate::k5_5Mbps, 3.327e6},
+      {phy::WifiRate::k2Mbps, 1.493e6},
+      {phy::WifiRate::k1Mbps, 0.806e6},
+  };
+  return kTable;
+}
+
+double AnalyticBaseline(phy::WifiRate rate, int n_nodes,
+                        const AnalyticBaselineConfig& config) {
+  const phy::MacTimings& t = config.timings;
+  const int payload =
+      config.ip_packet_bytes - (config.traffic == TrafficKind::kTcp ? net::kIpTcpHeaderBytes
+                                                                    : net::kIpUdpHeaderBytes);
+  const int data_frame = config.ip_packet_bytes + phy::kMacDataOverheadBytes;
+
+  // Contenders on the channel: the n data senders plus the AP relaying transport acks
+  // (uplink TCP); for UDP the AP is quiet, but the formula's sensitivity to one extra
+  // contender is small.
+  const int contenders =
+      n_nodes + (config.traffic == TrafficKind::kTcp ? 1 : 0);
+  const TimeNs expected_backoff =
+      t.slot * t.cw_min / (2 * (contenders > 0 ? contenders : 1));
+  const TimeNs idle = t.Difs() + expected_backoff;
+
+  TimeNs per_packet =
+      idle + phy::DataExchangeAirtime(data_frame, rate, t);
+
+  if (config.traffic == TrafficKind::kTcp) {
+    const int ack_frame = net::kIpTcpHeaderBytes + phy::kMacDataOverheadBytes;
+    const TimeNs ack_exchange = idle + phy::DataExchangeAirtime(ack_frame, rate, t);
+    per_packet += ack_exchange / config.tcp_ack_every;
+  }
+
+  if (config.collision_allowance && contenders > 1) {
+    const double p = static_cast<double>(contenders - 1) / (t.cw_min + 1);
+    per_packet = static_cast<TimeNs>(static_cast<double>(per_packet) * (1.0 + p / 2.0));
+  }
+
+  return static_cast<double>(payload) * 8.0 / (static_cast<double>(per_packet) / 1e9);
+}
+
+double AnalyticTcpBaseline(phy::WifiRate rate) {
+  return AnalyticBaseline(rate, 2, AnalyticBaselineConfig{});
+}
+
+}  // namespace tbf::model

@@ -1,0 +1,46 @@
+// Baseline throughput beta(d, s, I) - the paper's Section 2.3 quantity: the maximum total
+// throughput achieved when all |I| nodes use data rate d and packet size s under similar
+// (near-zero) loss.
+//
+// Two sources are provided:
+//  * kPaperTable2 - the values the paper measured on its testbed (Table 2), used to
+//    reproduce Table 3 digit-for-digit;
+//  * AnalyticBaseline - a first-principles estimate from 802.11 timing (PLCP, DIFS,
+//    expected backoff, SIFS, ACK, TCP ack traffic with delayed acks, and a first-order
+//    collision allowance), validated against the simulator in tests.
+#ifndef TBF_MODEL_BASELINE_H_
+#define TBF_MODEL_BASELINE_H_
+
+#include <map>
+
+#include "tbf/phy/rates.h"
+#include "tbf/phy/timing.h"
+#include "tbf/util/units.h"
+
+namespace tbf::model {
+
+enum class TrafficKind { kTcp, kUdp };
+
+// The paper's Table 2: measured two-node TCP baseline throughput (bps) at 1500-byte
+// packets for each 802.11b rate.
+const std::map<phy::WifiRate, double>& PaperTable2Baselines();
+
+struct AnalyticBaselineConfig {
+  phy::MacTimings timings = phy::MixedModeTimings();
+  int ip_packet_bytes = 1500;
+  TrafficKind traffic = TrafficKind::kTcp;
+  int tcp_ack_every = 2;  // Delayed acks.
+  // First-order collision inflation: each exchange costs an extra
+  // (contenders - 1) / cw_min / 2 of its own duration.
+  bool collision_allowance = true;
+};
+
+// Estimated beta(d, s, I) in bits/second for n competing nodes all at `rate`.
+double AnalyticBaseline(phy::WifiRate rate, int n_nodes, const AnalyticBaselineConfig& config);
+
+// Convenience: analytic TCP baseline with defaults (two nodes, 1500-byte packets).
+double AnalyticTcpBaseline(phy::WifiRate rate);
+
+}  // namespace tbf::model
+
+#endif  // TBF_MODEL_BASELINE_H_

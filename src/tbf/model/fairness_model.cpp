@@ -1,0 +1,47 @@
+#include "tbf/model/fairness_model.h"
+
+#include "tbf/util/logging.h"
+
+namespace tbf::model {
+
+Allocation ThroughputFairAllocation(const std::vector<NodeModel>& nodes) {
+  Allocation alloc;
+  double denom = 0.0;  // sum_j s_j / beta_j.
+  for (const NodeModel& n : nodes) {
+    TBF_CHECK(n.beta_bps > 0.0);
+    denom += n.packet_bytes / n.beta_bps;
+  }
+  for (const NodeModel& n : nodes) {
+    const double t = (n.packet_bytes / n.beta_bps) / denom;
+    alloc.channel_time.push_back(t);
+    const double r = t * n.beta_bps;
+    alloc.throughput_bps.push_back(r);
+    alloc.total_bps += r;
+  }
+  return alloc;
+}
+
+Allocation TimeFairAllocation(const std::vector<NodeModel>& nodes) {
+  Allocation alloc;
+  double total_weight = 0.0;
+  for (const NodeModel& n : nodes) {
+    total_weight += n.weight;
+  }
+  for (const NodeModel& n : nodes) {
+    TBF_CHECK(n.beta_bps > 0.0);
+    const double t = n.weight / total_weight;
+    alloc.channel_time.push_back(t);
+    const double r = t * n.beta_bps;
+    alloc.throughput_bps.push_back(r);
+    alloc.total_bps += r;
+  }
+  return alloc;
+}
+
+double TimeFairGain(const std::vector<NodeModel>& nodes) {
+  const double rf = ThroughputFairAllocation(nodes).total_bps;
+  const double tf = TimeFairAllocation(nodes).total_bps;
+  return rf > 0.0 ? tf / rf : 0.0;
+}
+
+}  // namespace tbf::model

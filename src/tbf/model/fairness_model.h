@@ -1,0 +1,38 @@
+// The paper's analytic framework (Section 2): predicted allocations under
+// throughput-based fairness (DCF, Equations 4-10) and time-based fairness
+// (Equations 11-13), for arbitrary per-node baseline throughputs and packet sizes.
+#ifndef TBF_MODEL_FAIRNESS_MODEL_H_
+#define TBF_MODEL_FAIRNESS_MODEL_H_
+
+#include <vector>
+
+#include "tbf/util/units.h"
+
+namespace tbf::model {
+
+struct NodeModel {
+  double beta_bps = 0.0;  // Baseline throughput beta(d_i, s_i, I).
+  double packet_bytes = 1500.0;
+  double weight = 1.0;    // Time-based share weight (1 = equal).
+};
+
+struct Allocation {
+  std::vector<double> throughput_bps;  // R(i).
+  std::vector<double> channel_time;    // T(i), fractions summing to 1.
+  double total_bps = 0.0;              // R(I).
+};
+
+// Equations 4 and 2/3 in their general (mixed packet size) form:
+//   T(i) = (s_i / beta_i) / sum_j (s_j / beta_j),   R(i) = T(i) * beta_i.
+// With equal packet sizes this reduces to Eq. 5-7 (equal per-node throughput).
+Allocation ThroughputFairAllocation(const std::vector<NodeModel>& nodes);
+
+// Equations 11-13: T'(i) = w_i / sum w  (1/n when equal),  R'(i) = T'(i) * beta_i.
+Allocation TimeFairAllocation(const std::vector<NodeModel>& nodes);
+
+// Aggregate-throughput ratio TF / RF - the paper's headline improvement factor.
+double TimeFairGain(const std::vector<NodeModel>& nodes);
+
+}  // namespace tbf::model
+
+#endif  // TBF_MODEL_FAIRNESS_MODEL_H_

@@ -1,0 +1,92 @@
+#include "tbf/model/task_model.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "tbf/util/logging.h"
+
+namespace tbf::model {
+
+TaskOutcome RunTaskModel(const std::vector<Task>& tasks, FairnessNotion notion) {
+  TaskOutcome outcome;
+  const size_t n = tasks.size();
+  outcome.completion_sec.assign(n, 0.0);
+
+  std::vector<double> remaining_bits(n);
+  std::vector<bool> active(n, true);
+  size_t active_count = n;
+  for (size_t i = 0; i < n; ++i) {
+    TBF_CHECK(tasks[i].beta_bps > 0.0);
+    remaining_bits[i] = tasks[i].bytes * 8.0;
+    if (remaining_bits[i] <= 0.0) {
+      active[i] = false;
+      --active_count;
+    }
+  }
+
+  double now = 0.0;
+  while (active_count > 0) {
+    // Instantaneous per-task rates over the active set.
+    std::vector<double> rate(n, 0.0);
+    if (notion == FairnessNotion::kThroughputFair) {
+      double denom = 0.0;
+      for (size_t i = 0; i < n; ++i) {
+        if (active[i]) {
+          denom += 1.0 / tasks[i].beta_bps;
+        }
+      }
+      const double equal = 1.0 / denom;
+      for (size_t i = 0; i < n; ++i) {
+        if (active[i]) {
+          rate[i] = equal;
+        }
+      }
+    } else {
+      double total_weight = 0.0;
+      for (size_t i = 0; i < n; ++i) {
+        if (active[i]) {
+          total_weight += tasks[i].weight;
+        }
+      }
+      for (size_t i = 0; i < n; ++i) {
+        if (active[i]) {
+          rate[i] = tasks[i].beta_bps * tasks[i].weight / total_weight;
+        }
+      }
+    }
+
+    // Advance to the next completion.
+    double dt = std::numeric_limits<double>::infinity();
+    for (size_t i = 0; i < n; ++i) {
+      if (active[i] && rate[i] > 0.0) {
+        dt = std::min(dt, remaining_bits[i] / rate[i]);
+      }
+    }
+    TBF_CHECK(dt < std::numeric_limits<double>::infinity());
+    now += dt;
+    for (size_t i = 0; i < n; ++i) {
+      if (!active[i]) {
+        continue;
+      }
+      remaining_bits[i] -= rate[i] * dt;
+      if (remaining_bits[i] <= 1e-6) {
+        remaining_bits[i] = 0.0;
+        active[i] = false;
+        --active_count;
+        outcome.completion_sec[i] = now;
+      }
+    }
+  }
+
+  double sum = 0.0;
+  double final_time = 0.0;
+  for (double c : outcome.completion_sec) {
+    sum += c;
+    final_time = std::max(final_time, c);
+  }
+  outcome.avg_task_time_sec = n > 0 ? sum / static_cast<double>(n) : 0.0;
+  outcome.final_task_time_sec = final_time;
+  return outcome;
+}
+
+}  // namespace tbf::model

@@ -1,0 +1,38 @@
+// The task traffic model (Section 2.1): a finite set of finite transfers, evaluated under
+// either fairness notion by piecewise-fluid simulation. Produces the efficiency measures of
+// Table 1: AvgTaskTime, FinalTaskTime, and the aggregate-throughput time series.
+#ifndef TBF_MODEL_TASK_MODEL_H_
+#define TBF_MODEL_TASK_MODEL_H_
+
+#include <vector>
+
+#include "tbf/util/units.h"
+
+namespace tbf::model {
+
+enum class FairnessNotion { kThroughputFair, kTimeFair };
+
+struct Task {
+  double beta_bps = 0.0;   // Baseline throughput of the owning node.
+  double bytes = 0.0;      // Task size.
+  double weight = 1.0;     // Time-fair weight.
+};
+
+struct TaskOutcome {
+  std::vector<double> completion_sec;  // Per task, in input order.
+  double avg_task_time_sec = 0.0;
+  double final_task_time_sec = 0.0;
+};
+
+// Fluid-schedule the tasks to completion under the given fairness notion.
+//
+// Under throughput-based fairness every active task receives the equal-throughput
+// allocation R = 1 / sum(1/beta_j) over the active set; under time-based fairness task i
+// receives beta_i * w_i / sum(w_j). The schedule is work-conserving in channel time, so
+// FinalTaskTime is invariant across notions when tasks are "equal work" - the paper's
+// Table 1 row - while AvgTaskTime improves under time-based fairness.
+TaskOutcome RunTaskModel(const std::vector<Task>& tasks, FairnessNotion notion);
+
+}  // namespace tbf::model
+
+#endif  // TBF_MODEL_TASK_MODEL_H_

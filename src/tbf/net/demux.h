@@ -1,0 +1,41 @@
+// Transport demultiplexer: routes received packets to the endpoint registered for
+// (node, flow_id).
+#ifndef TBF_NET_DEMUX_H_
+#define TBF_NET_DEMUX_H_
+
+#include <map>
+#include <utility>
+
+#include "tbf/net/packet.h"
+#include "tbf/util/logging.h"
+
+namespace tbf::net {
+
+class PacketHandler {
+ public:
+  virtual ~PacketHandler() = default;
+  virtual void HandlePacket(const PacketPtr& packet) = 0;
+};
+
+class Demux {
+ public:
+  void Register(NodeId node, int flow_id, PacketHandler* handler) {
+    handlers_[{node, flow_id}] = handler;
+  }
+
+  void Deliver(NodeId node, const PacketPtr& packet) {
+    auto it = handlers_.find({node, packet->flow_id});
+    if (it == handlers_.end()) {
+      TBF_LOG(kDebug) << "no handler at node " << node << " for flow " << packet->flow_id;
+      return;
+    }
+    it->second->HandlePacket(packet);
+  }
+
+ private:
+  std::map<std::pair<NodeId, int>, PacketHandler*> handlers_;
+};
+
+}  // namespace tbf::net
+
+#endif  // TBF_NET_DEMUX_H_

@@ -1,0 +1,66 @@
+#include "tbf/net/host.h"
+
+namespace tbf::net {
+
+WirelessHost::WirelessHost(sim::Simulator* sim, mac::Medium* medium, NodeId id,
+                           std::unique_ptr<rateadapt::RateController> rates, Demux* demux,
+                           size_t queue_limit)
+    : sim_(sim),
+      id_(id),
+      rates_(std::move(rates)),
+      demux_(demux),
+      queue_limit_(queue_limit),
+      entity_(medium, id, this, this) {}
+
+void WirelessHost::SendPacket(PacketPtr packet) {
+  if (queue_.size() >= queue_limit_) {
+    ++drops_;
+    return;
+  }
+  queue_.push_back(std::move(packet));
+  if (sim_->Now() >= uplink_paused_until_) {
+    entity_.NotifyBacklog();
+  }
+}
+
+std::optional<mac::MacFrame> WirelessHost::NextFrame() {
+  if (queue_.empty() || sim_->Now() < uplink_paused_until_) {
+    return std::nullopt;
+  }
+  PacketPtr p = std::move(queue_.front());
+  queue_.pop_front();
+  // Infrastructure mode: all uplink frames are MAC-addressed to the AP, which relays.
+  return mac::MakeDataFrame(id_, kApId, std::move(p), rates_->CurrentRate(kApId));
+}
+
+void WirelessHost::OnTxComplete(const mac::MacFrame&, bool success, int attempts, TimeNs) {
+  rates_->OnTxResult(kApId, success, attempts);
+}
+
+void WirelessHost::OnFrameReceived(const mac::MacFrame& frame) {
+  if (frame.packet != nullptr && demux_ != nullptr) {
+    demux_->Deliver(id_, frame.packet);
+  }
+}
+
+void WirelessHost::PauseUplinkUntil(TimeNs when) {
+  if (when <= uplink_paused_until_) {
+    return;
+  }
+  uplink_paused_until_ = when;
+  sim_->ScheduleAt(when, [this] {
+    if (!queue_.empty()) {
+      entity_.NotifyBacklog();
+    }
+  });
+}
+
+WiredHost::WiredHost(sim::Simulator* sim, NodeId id, Demux* demux, WiredLink* link)
+    : sim_(sim), id_(id), demux_(demux), link_(link) {
+  link_->SetTowardServer([this](PacketPtr p) { demux_->Deliver(id_, p); });
+  (void)sim_;
+}
+
+void WiredHost::SendPacket(PacketPtr packet) { link_->SendTowardAp(std::move(packet)); }
+
+}  // namespace tbf::net

@@ -1,0 +1,81 @@
+// Wireless client hosts and the wired server host.
+//
+// A WirelessHost owns one DCF station, a drop-tail uplink interface queue and a rate
+// controller; transports bound to the host emit packets through SendPacket() and receive
+// through the shared Demux. The WiredHost hangs off the backbone link.
+#ifndef TBF_NET_HOST_H_
+#define TBF_NET_HOST_H_
+
+#include <deque>
+#include <memory>
+
+#include "tbf/mac/medium.h"
+#include "tbf/net/demux.h"
+#include "tbf/net/wired.h"
+#include "tbf/rateadapt/rate_controller.h"
+#include "tbf/sim/simulator.h"
+
+namespace tbf::net {
+
+class WirelessHost : public mac::FrameProvider, public mac::FrameSink {
+ public:
+  WirelessHost(sim::Simulator* sim, mac::Medium* medium, NodeId id,
+               std::unique_ptr<rateadapt::RateController> rates, Demux* demux,
+               size_t queue_limit = 50);
+
+  WirelessHost(const WirelessHost&) = delete;
+  WirelessHost& operator=(const WirelessHost&) = delete;
+
+  NodeId id() const { return id_; }
+
+  // Transport output: queue a packet for uplink transmission to the AP.
+  void SendPacket(PacketPtr packet);
+
+  // mac::FrameProvider.
+  std::optional<mac::MacFrame> NextFrame() override;
+  void OnTxComplete(const mac::MacFrame& frame, bool success, int attempts,
+                    TimeNs airtime) override;
+
+  // mac::FrameSink - downlink receptions are handed to the transport demux.
+  void OnFrameReceived(const mac::MacFrame& frame) override;
+
+  rateadapt::RateController& rates() { return *rates_; }
+  mac::DcfEntity& entity() { return entity_; }
+  size_t queued() const { return queue_.size(); }
+  int64_t drops() const { return drops_; }
+
+  // TBR client-agent hook (paper 4.1): while paused, the host does not offer uplink
+  // frames to its MAC. Used only when the optional client cooperation mode is enabled.
+  void PauseUplinkUntil(TimeNs when);
+
+ private:
+  sim::Simulator* sim_;
+  NodeId id_;
+  std::unique_ptr<rateadapt::RateController> rates_;
+  Demux* demux_;
+  size_t queue_limit_;
+  std::deque<PacketPtr> queue_;
+  int64_t drops_ = 0;
+  TimeNs uplink_paused_until_ = 0;
+  mac::DcfEntity entity_;
+};
+
+class WiredHost {
+ public:
+  WiredHost(sim::Simulator* sim, NodeId id, Demux* demux, WiredLink* link);
+
+  NodeId id() const { return id_; }
+
+  // Transport output: send a packet toward the AP over the backbone.
+  void SendPacket(PacketPtr packet);
+
+ private:
+  sim::Simulator* sim_;
+  NodeId id_;
+  Demux* demux_;
+  WiredLink* link_;
+};
+
+}  // namespace tbf::net
+
+#endif  // TBF_NET_HOST_H_

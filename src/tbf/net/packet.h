@@ -1,0 +1,66 @@
+// Network-layer packet representation shared by transport, AP queueing and the MAC.
+#ifndef TBF_NET_PACKET_H_
+#define TBF_NET_PACKET_H_
+
+#include <cstdint>
+#include <memory>
+
+#include "tbf/util/units.h"
+
+namespace tbf::net {
+
+enum class Proto { kUdp, kTcpData, kTcpAck };
+
+inline constexpr int kIpTcpHeaderBytes = 40;
+inline constexpr int kIpUdpHeaderBytes = 28;
+inline constexpr int kDefaultMss = 1460;  // 1500-byte IP packets, the paper's frame size.
+
+struct Packet {
+  NodeId src = kInvalidNodeId;  // Originating endpoint (client id or >= kServerId).
+  NodeId dst = kInvalidNodeId;
+  // The wireless client whose traffic this packet is; drives per-node queueing/accounting
+  // at the AP regardless of direction.
+  NodeId wlan_client = kInvalidNodeId;
+  int flow_id = -1;
+  Proto proto = Proto::kUdp;
+  int size_bytes = 0;  // IP datagram size on the wire.
+
+  // Transport fields (TCP: byte sequence space; UDP: packet counter in seq).
+  int64_t seq = 0;
+  int64_t end_seq = 0;  // TCP data: seq + payload bytes.
+  int64_t ack = 0;      // TCP: cumulative ack number.
+
+  TimeNs created = 0;
+
+  int PayloadBytes() const {
+    switch (proto) {
+      case Proto::kUdp:
+        return size_bytes - kIpUdpHeaderBytes;
+      case Proto::kTcpData:
+        return size_bytes - kIpTcpHeaderBytes;
+      case Proto::kTcpAck:
+        return 0;
+    }
+    return 0;
+  }
+};
+
+using PacketPtr = std::shared_ptr<Packet>;
+
+inline PacketPtr MakeUdpPacket(NodeId src, NodeId dst, NodeId wlan_client, int flow_id,
+                               int size_bytes, int64_t seq, TimeNs now) {
+  auto p = std::make_shared<Packet>();
+  p->src = src;
+  p->dst = dst;
+  p->wlan_client = wlan_client;
+  p->flow_id = flow_id;
+  p->proto = Proto::kUdp;
+  p->size_bytes = size_bytes;
+  p->seq = seq;
+  p->created = now;
+  return p;
+}
+
+}  // namespace tbf::net
+
+#endif  // TBF_NET_PACKET_H_

@@ -1,0 +1,289 @@
+#include "tbf/net/tcp.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "tbf/util/logging.h"
+
+namespace tbf::net {
+namespace {
+
+PacketPtr MakeSegment(const FlowAddress& addr, Proto proto, int size, TimeNs now) {
+  auto p = std::make_shared<Packet>();
+  p->flow_id = addr.flow_id;
+  p->wlan_client = addr.wlan_client;
+  p->proto = proto;
+  p->size_bytes = size;
+  p->created = now;
+  return p;
+}
+
+}  // namespace
+
+TcpSender::TcpSender(sim::Simulator* sim, TcpConfig config, FlowAddress addr, SendFn send)
+    : sim_(sim),
+      config_(config),
+      addr_(addr),
+      send_(std::move(send)),
+      rto_(config.initial_rto) {
+  cwnd_ = static_cast<double>(config_.initial_cwnd_segments) * config_.mss;
+  ssthresh_ = static_cast<double>(config_.receive_window);
+}
+
+void TcpSender::Start(TimeNs at) {
+  sim_->ScheduleAt(at, [this] {
+    started_ = true;
+    start_time_ = sim_->Now();
+    TrySend();
+  });
+}
+
+int64_t TcpSender::AppBytesAvailable() const {
+  int64_t avail = task_bytes_ > 0 ? task_bytes_ : std::numeric_limits<int64_t>::max();
+  if (app_limit_bps_ > 0) {
+    // CBR application: bytes produced since start, with a small initial burst allowance.
+    const TimeNs elapsed = sim_->Now() - start_time_;
+    const int64_t produced =
+        static_cast<int64_t>(static_cast<double>(app_limit_bps_) / 8e9 *
+                             static_cast<double>(elapsed)) +
+        4 * config_.mss;
+    avail = std::min(avail, produced);
+  }
+  return avail;
+}
+
+void TcpSender::TrySend() {
+  if (!started_ || Done()) {
+    return;
+  }
+  const int64_t window = std::min<int64_t>(static_cast<int64_t>(cwnd_), config_.receive_window);
+  const int64_t app_avail = AppBytesAvailable();
+  bool sent = false;
+  while (snd_nxt_ - snd_una_ + config_.mss <= window && snd_nxt_ + config_.mss <= app_avail) {
+    EmitSegment(snd_nxt_, config_.mss, /*is_retransmit=*/false);
+    snd_nxt_ += config_.mss;
+    sent = true;
+  }
+  // Tail segment of a finite task (shorter than MSS).
+  if (task_bytes_ > 0 && snd_nxt_ < task_bytes_ && snd_nxt_ + config_.mss > task_bytes_ &&
+      task_bytes_ <= app_avail && snd_nxt_ - snd_una_ + (task_bytes_ - snd_nxt_) <= window) {
+    EmitSegment(snd_nxt_, static_cast<int>(task_bytes_ - snd_nxt_), false);
+    snd_nxt_ = task_bytes_;
+    sent = true;
+  }
+  if (sent) {
+    ArmRto();
+  }
+  // Application-limited: wake up when the CBR source has produced another segment.
+  if (app_limit_bps_ > 0 && snd_nxt_ + config_.mss > app_avail &&
+      (task_bytes_ == 0 || snd_nxt_ < task_bytes_)) {
+    if (app_event_ == sim::kInvalidEventId) {
+      const TimeNs wait =
+          static_cast<TimeNs>(8e9 * config_.mss / static_cast<double>(app_limit_bps_));
+      app_event_ = sim_->Schedule(wait, [this] {
+        app_event_ = sim::kInvalidEventId;
+        TrySend();
+      });
+    }
+  }
+}
+
+void TcpSender::EmitSegment(int64_t seq, int payload, bool is_retransmit) {
+  PacketPtr p = MakeSegment(addr_, Proto::kTcpData, payload + kIpTcpHeaderBytes, sim_->Now());
+  p->src = addr_.sender;
+  p->dst = addr_.receiver;
+  p->seq = seq;
+  p->end_seq = seq + payload;
+  if (!is_retransmit && rtt_seq_ < 0) {
+    rtt_seq_ = seq + payload;
+    rtt_sent_at_ = sim_->Now();
+  }
+  if (is_retransmit) {
+    ++retransmits_;
+    if (rtt_seq_ >= 0 && seq < rtt_seq_) {
+      rtt_seq_ = -1;  // Karn: invalidate the sample covering retransmitted data.
+    }
+  }
+  send_(p);
+}
+
+void TcpSender::HandlePacket(const PacketPtr& packet) {
+  if (packet->proto != Proto::kTcpAck) {
+    return;
+  }
+  const int64_t ack = packet->ack;
+  if (ack > snd_una_) {
+    const int64_t newly_acked = ack - snd_una_;
+    snd_una_ = ack;
+    dupacks_ = 0;
+
+    if (rtt_seq_ >= 0 && ack >= rtt_seq_) {
+      UpdateRtt(sim_->Now() - rtt_sent_at_);
+      rtt_seq_ = -1;
+    }
+
+    if (in_recovery_) {
+      if (ack >= recover_) {
+        in_recovery_ = false;
+        cwnd_ = ssthresh_;
+      } else {
+        // NewReno partial ack: retransmit the next hole, deflate by acked bytes.
+        EmitSegment(snd_una_, config_.mss, /*is_retransmit=*/true);
+        cwnd_ = std::max(cwnd_ - static_cast<double>(newly_acked) + config_.mss,
+                         static_cast<double>(config_.mss));
+      }
+    } else if (cwnd_ < ssthresh_) {
+      cwnd_ += config_.mss;  // Slow start.
+    } else {
+      cwnd_ += static_cast<double>(config_.mss) * config_.mss / cwnd_;  // AIMD.
+    }
+
+    if (Done()) {
+      completion_time_ = sim_->Now();
+      DisarmRto();
+      return;
+    }
+    if (FlightSize() > 0) {
+      ArmRto();
+    } else {
+      DisarmRto();
+    }
+    TrySend();
+    return;
+  }
+  // Duplicate ack.
+  if (FlightSize() > 0) {
+    ++dupacks_;
+    if (!in_recovery_ && dupacks_ == config_.dupack_threshold) {
+      EnterFastRecovery();
+    } else if (in_recovery_) {
+      cwnd_ += config_.mss;  // Inflate during recovery.
+      TrySend();
+    }
+  }
+}
+
+void TcpSender::EnterFastRecovery() {
+  in_recovery_ = true;
+  recover_ = snd_nxt_;
+  ssthresh_ = std::max(static_cast<double>(FlightSize()) / 2.0,
+                       2.0 * static_cast<double>(config_.mss));
+  cwnd_ = ssthresh_ + 3.0 * config_.mss;
+  EmitSegment(snd_una_, config_.mss, /*is_retransmit=*/true);
+  ArmRto();
+}
+
+void TcpSender::OnRto() {
+  rto_event_ = sim::kInvalidEventId;
+  if (Done() || FlightSize() <= 0) {
+    return;
+  }
+  ++timeouts_;
+  ssthresh_ = std::max(static_cast<double>(FlightSize()) / 2.0,
+                       2.0 * static_cast<double>(config_.mss));
+  cwnd_ = config_.mss;
+  in_recovery_ = false;
+  dupacks_ = 0;
+  snd_nxt_ = snd_una_;  // Go-back-N: acks re-open the window.
+  rto_ = std::min(rto_ * 2, config_.max_rto);
+  EmitSegment(snd_una_, config_.mss, /*is_retransmit=*/true);
+  snd_nxt_ = snd_una_ + config_.mss;
+  ArmRto();
+}
+
+void TcpSender::ArmRto() {
+  DisarmRto();
+  rto_event_ = sim_->Schedule(rto_, [this] { OnRto(); });
+}
+
+void TcpSender::DisarmRto() {
+  if (rto_event_ != sim::kInvalidEventId) {
+    sim_->Cancel(rto_event_);
+    rto_event_ = sim::kInvalidEventId;
+  }
+}
+
+void TcpSender::UpdateRtt(TimeNs sample) {
+  if (srtt_ == 0) {
+    srtt_ = sample;
+    rttvar_ = sample / 2;
+  } else {
+    const TimeNs err = sample > srtt_ ? sample - srtt_ : srtt_ - sample;
+    rttvar_ = (3 * rttvar_ + err) / 4;
+    srtt_ = (7 * srtt_ + sample) / 8;
+  }
+  rto_ = std::clamp(srtt_ + 4 * rttvar_, config_.min_rto, config_.max_rto);
+}
+
+TcpReceiver::TcpReceiver(sim::Simulator* sim, TcpConfig config, FlowAddress addr, SendFn send,
+                         DeliverFn deliver)
+    : sim_(sim),
+      config_(config),
+      addr_(addr),
+      send_(std::move(send)),
+      deliver_(std::move(deliver)) {}
+
+void TcpReceiver::HandlePacket(const PacketPtr& packet) {
+  if (packet->proto != Proto::kTcpData) {
+    return;
+  }
+  if (packet->end_seq <= rcv_nxt_) {
+    ++dup_segments_;
+    SendAck();  // Re-ack old data immediately.
+    return;
+  }
+  if (packet->seq > rcv_nxt_) {
+    // Hole: buffer and send an immediate duplicate ack.
+    auto [it, inserted] = out_of_order_.emplace(packet->seq, packet->end_seq);
+    if (!inserted) {
+      it->second = std::max(it->second, packet->end_seq);
+    }
+    SendAck();
+    return;
+  }
+  // In-order (possibly overlapping) segment.
+  const int64_t before = rcv_nxt_;
+  rcv_nxt_ = packet->end_seq;
+  while (!out_of_order_.empty() && out_of_order_.begin()->first <= rcv_nxt_) {
+    rcv_nxt_ = std::max(rcv_nxt_, out_of_order_.begin()->second);
+    out_of_order_.erase(out_of_order_.begin());
+  }
+  if (deliver_) {
+    deliver_(rcv_nxt_ - before);
+  }
+  ++unacked_segments_;
+  const bool filled_hole = !out_of_order_.empty();
+  if (unacked_segments_ >= config_.ack_every || filled_hole) {
+    SendAck();
+  } else {
+    ArmDelack();
+  }
+}
+
+void TcpReceiver::SendAck() {
+  if (delack_event_ != sim::kInvalidEventId) {
+    sim_->Cancel(delack_event_);
+    delack_event_ = sim::kInvalidEventId;
+  }
+  unacked_segments_ = 0;
+  PacketPtr p = MakeSegment(addr_, Proto::kTcpAck, kIpTcpHeaderBytes, sim_->Now());
+  p->src = addr_.receiver;
+  p->dst = addr_.sender;
+  p->ack = rcv_nxt_;
+  ++acks_sent_;
+  send_(p);
+}
+
+void TcpReceiver::ArmDelack() {
+  if (delack_event_ != sim::kInvalidEventId) {
+    return;
+  }
+  delack_event_ = sim_->Schedule(config_.delayed_ack_timeout, [this] {
+    delack_event_ = sim::kInvalidEventId;
+    if (unacked_segments_ > 0) {
+      SendAck();
+    }
+  });
+}
+
+}  // namespace tbf::net

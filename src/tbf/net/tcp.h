@@ -1,0 +1,148 @@
+// Simplified TCP Reno/NewReno, sufficient for the paper's phenomena.
+//
+// What matters for reproducing the paper:
+//  * ack clocking - data segments are released by returning acks, so delaying a flow's
+//    acks at the AP throttles its sender (TBR's uplink lever, paper 4.1);
+//  * delayed acks (every 2nd segment) - sets the data:ack airtime ratio that the measured
+//    baseline throughputs embed;
+//  * slow start / congestion avoidance / fast retransmit / RTO - loss recovery against
+//    drop-tail queues at the AP and client interfaces.
+// Sequence numbers are byte-granular; segments are MSS-sized (1460 B payload -> 1500 B IP).
+#ifndef TBF_NET_TCP_H_
+#define TBF_NET_TCP_H_
+
+#include <functional>
+#include <map>
+
+#include "tbf/net/demux.h"
+#include "tbf/net/packet.h"
+#include "tbf/sim/simulator.h"
+#include "tbf/util/units.h"
+
+namespace tbf::net {
+
+struct TcpConfig {
+  int mss = kDefaultMss;
+  int64_t receive_window = 64 * 1024;
+  int initial_cwnd_segments = 2;
+  int dupack_threshold = 3;
+  TimeNs initial_rto = Ms(1000);
+  TimeNs min_rto = Ms(200);
+  TimeNs max_rto = Sec(8);
+  TimeNs delayed_ack_timeout = Ms(40);
+  int ack_every = 2;  // Delayed acks: one ack per this many full segments.
+};
+
+// Identifies one end-to-end flow; wlan_client drives AP-side accounting.
+struct FlowAddress {
+  int flow_id = 0;
+  NodeId sender = kInvalidNodeId;
+  NodeId receiver = kInvalidNodeId;
+  NodeId wlan_client = kInvalidNodeId;
+};
+
+class TcpSender : public PacketHandler {
+ public:
+  using SendFn = std::function<void(PacketPtr)>;
+
+  TcpSender(sim::Simulator* sim, TcpConfig config, FlowAddress addr, SendFn send);
+
+  // Application model. task_bytes == 0 means an unbounded (fluid-model) transfer.
+  void SetTaskBytes(int64_t bytes) { task_bytes_ = bytes; }
+  // Cap the application's supply rate (paper Table 4's bottleneck emulation). 0 = off.
+  void SetAppLimitBps(BitRate bps) { app_limit_bps_ = bps; }
+
+  void Start(TimeNs at = 0);
+
+  // PacketHandler - receives acks.
+  void HandlePacket(const PacketPtr& packet) override;
+
+  bool Started() const { return started_; }
+  bool Done() const { return task_bytes_ > 0 && snd_una_ >= task_bytes_; }
+  TimeNs completion_time() const { return completion_time_; }
+  int64_t bytes_acked() const { return snd_una_; }
+  int64_t retransmits() const { return retransmits_; }
+  int64_t timeouts() const { return timeouts_; }
+  double cwnd_bytes() const { return cwnd_; }
+  TimeNs srtt() const { return srtt_; }
+
+ private:
+  void TrySend();
+  void EmitSegment(int64_t seq, int payload, bool is_retransmit);
+  void EnterFastRecovery();
+  void OnRto();
+  void ArmRto();
+  void DisarmRto();
+  void UpdateRtt(TimeNs sample);
+  int64_t AppBytesAvailable() const;
+  int64_t FlightSize() const { return snd_nxt_ - snd_una_; }
+
+  sim::Simulator* sim_;
+  TcpConfig config_;
+  FlowAddress addr_;
+  SendFn send_;
+
+  bool started_ = false;
+  int64_t task_bytes_ = 0;
+  BitRate app_limit_bps_ = 0;
+  TimeNs start_time_ = 0;
+  TimeNs completion_time_ = -1;
+
+  int64_t snd_una_ = 0;
+  int64_t snd_nxt_ = 0;
+  double cwnd_ = 0;
+  double ssthresh_ = 0;
+  int dupacks_ = 0;
+  bool in_recovery_ = false;
+  int64_t recover_ = 0;
+
+  // RTT estimation (Karn: only first transmissions are sampled).
+  int64_t rtt_seq_ = -1;
+  TimeNs rtt_sent_at_ = 0;
+  TimeNs srtt_ = 0;
+  TimeNs rttvar_ = 0;
+  TimeNs rto_;
+  sim::EventId rto_event_ = sim::kInvalidEventId;
+  sim::EventId app_event_ = sim::kInvalidEventId;
+
+  int64_t retransmits_ = 0;
+  int64_t timeouts_ = 0;
+};
+
+class TcpReceiver : public PacketHandler {
+ public:
+  using SendFn = std::function<void(PacketPtr)>;
+  // Called with the count of newly in-order payload bytes.
+  using DeliverFn = std::function<void(int64_t bytes)>;
+
+  TcpReceiver(sim::Simulator* sim, TcpConfig config, FlowAddress addr, SendFn send,
+              DeliverFn deliver = nullptr);
+
+  // PacketHandler - receives data segments.
+  void HandlePacket(const PacketPtr& packet) override;
+
+  int64_t bytes_received() const { return rcv_nxt_; }
+  int64_t acks_sent() const { return acks_sent_; }
+  int64_t dup_segments() const { return dup_segments_; }
+
+ private:
+  void SendAck();
+  void ArmDelack();
+
+  sim::Simulator* sim_;
+  TcpConfig config_;
+  FlowAddress addr_;
+  SendFn send_;
+  DeliverFn deliver_;
+
+  int64_t rcv_nxt_ = 0;
+  std::map<int64_t, int64_t> out_of_order_;  // seq -> end_seq.
+  int unacked_segments_ = 0;
+  sim::EventId delack_event_ = sim::kInvalidEventId;
+  int64_t acks_sent_ = 0;
+  int64_t dup_segments_ = 0;
+};
+
+}  // namespace tbf::net
+
+#endif  // TBF_NET_TCP_H_

@@ -1,0 +1,96 @@
+// Constant-bit-rate UDP source and a counting sink.
+#ifndef TBF_NET_UDP_H_
+#define TBF_NET_UDP_H_
+
+#include <functional>
+
+#include "tbf/net/demux.h"
+#include "tbf/net/packet.h"
+#include "tbf/net/tcp.h"  // FlowAddress.
+#include "tbf/sim/simulator.h"
+
+namespace tbf::net {
+
+// Emits `packet_bytes` IP datagrams back to back at `rate_bps`. Set the rate above the
+// wireless capacity to model a saturating sender (the paper's UDP experiments).
+class UdpSource {
+ public:
+  using SendFn = std::function<void(PacketPtr)>;
+
+  // `rng`, when provided, jitters each inter-packet gap by +-5% (mean preserved); this
+  // prevents phase lock between multiple CBR sources sharing a drop-tail queue.
+  UdpSource(sim::Simulator* sim, FlowAddress addr, SendFn send, BitRate rate_bps,
+            int packet_bytes = 1500, int64_t max_packets = 0, sim::Rng* rng = nullptr)
+      : sim_(sim),
+        addr_(addr),
+        send_(std::move(send)),
+        interval_(static_cast<TimeNs>(8e9 * packet_bytes / static_cast<double>(rate_bps))),
+        packet_bytes_(packet_bytes),
+        max_packets_(max_packets),
+        rng_(rng) {}
+
+  void Start(TimeNs at = 0) {
+    sim_->ScheduleAt(at, [this] { Tick(); });
+  }
+
+  int64_t packets_sent() const { return seq_; }
+
+ private:
+  void Tick() {
+    if (max_packets_ > 0 && seq_ >= max_packets_) {
+      return;
+    }
+    PacketPtr p = MakeUdpPacket(addr_.sender, addr_.receiver, addr_.wlan_client,
+                                addr_.flow_id, packet_bytes_, seq_++, sim_->Now());
+    send_(p);
+    TimeNs gap = interval_;
+    if (rng_ != nullptr) {
+      gap = static_cast<TimeNs>(static_cast<double>(interval_) *
+                                (0.95 + 0.1 * rng_->UniformDouble()));
+    }
+    sim_->Schedule(gap, [this] { Tick(); });
+  }
+
+  sim::Simulator* sim_;
+  FlowAddress addr_;
+  SendFn send_;
+  TimeNs interval_;
+  int packet_bytes_;
+  int64_t max_packets_;
+  sim::Rng* rng_;
+  int64_t seq_ = 0;
+};
+
+// Counts delivered UDP payload, deduplicating MAC-level retransmission copies (delivery is
+// in-order in this stack, so a monotone high-water mark suffices).
+class UdpSink : public PacketHandler {
+ public:
+  using DeliverFn = std::function<void(int64_t bytes)>;
+
+  explicit UdpSink(DeliverFn deliver = nullptr) : deliver_(std::move(deliver)) {}
+
+  void HandlePacket(const PacketPtr& packet) override {
+    if (packet->proto != Proto::kUdp || packet->seq < next_seq_) {
+      return;
+    }
+    next_seq_ = packet->seq + 1;
+    ++packets_;
+    bytes_ += packet->PayloadBytes();
+    if (deliver_) {
+      deliver_(packet->PayloadBytes());
+    }
+  }
+
+  int64_t packets() const { return packets_; }
+  int64_t payload_bytes() const { return bytes_; }
+
+ private:
+  DeliverFn deliver_;
+  int64_t next_seq_ = 0;
+  int64_t packets_ = 0;
+  int64_t bytes_ = 0;
+};
+
+}  // namespace tbf::net
+
+#endif  // TBF_NET_UDP_H_

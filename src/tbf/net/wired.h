@@ -1,0 +1,80 @@
+// Full-duplex wired backbone link between the AP and the distribution system.
+//
+// Models serialization at a configured rate plus fixed propagation delay, per direction,
+// with a drop-tail queue. Default parameters (100 Mbps, 500 us) make the wireless hop the
+// bottleneck, as in the paper's testbed; benches override the delay to model WAN paths.
+#ifndef TBF_NET_WIRED_H_
+#define TBF_NET_WIRED_H_
+
+#include <deque>
+#include <functional>
+
+#include "tbf/net/packet.h"
+#include "tbf/sim/simulator.h"
+#include "tbf/util/units.h"
+
+namespace tbf::net {
+
+class WiredLink {
+ public:
+  using DeliverFn = std::function<void(PacketPtr)>;
+
+  WiredLink(sim::Simulator* sim, BitRate rate = Mbps(100), TimeNs delay = Us(500),
+            size_t queue_limit = 1000)
+      : sim_(sim), rate_(rate), delay_(delay), queue_limit_(queue_limit) {}
+
+  void SetTowardServer(DeliverFn fn) { toward_server_.deliver = std::move(fn); }
+  void SetTowardAp(DeliverFn fn) { toward_ap_.deliver = std::move(fn); }
+
+  void SendTowardServer(PacketPtr p) { Send(toward_server_, std::move(p)); }
+  void SendTowardAp(PacketPtr p) { Send(toward_ap_, std::move(p)); }
+
+  int64_t drops() const { return drops_; }
+
+ private:
+  struct Direction {
+    DeliverFn deliver;
+    std::deque<PacketPtr> queue;
+    bool busy = false;
+  };
+
+  void Send(Direction& dir, PacketPtr p) {
+    if (dir.queue.size() >= queue_limit_) {
+      ++drops_;
+      return;
+    }
+    dir.queue.push_back(std::move(p));
+    if (!dir.busy) {
+      StartTx(dir);
+    }
+  }
+
+  void StartTx(Direction& dir) {
+    if (dir.queue.empty()) {
+      dir.busy = false;
+      return;
+    }
+    dir.busy = true;
+    PacketPtr p = std::move(dir.queue.front());
+    dir.queue.pop_front();
+    const TimeNs tx_time = TransmissionTime(p->size_bytes, rate_);
+    sim_->Schedule(tx_time + delay_, [&dir, p] {
+      if (dir.deliver) {
+        dir.deliver(p);
+      }
+    });
+    sim_->Schedule(tx_time, [this, &dir] { StartTx(dir); });
+  }
+
+  sim::Simulator* sim_;
+  BitRate rate_;
+  TimeNs delay_;
+  size_t queue_limit_;
+  Direction toward_server_;
+  Direction toward_ap_;
+  int64_t drops_ = 0;
+};
+
+}  // namespace tbf::net
+
+#endif  // TBF_NET_WIRED_H_

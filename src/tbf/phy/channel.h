@@ -1,0 +1,144 @@
+// Radio channel abstractions: per-link loss and indoor path loss.
+//
+// LossModel answers "did this frame survive?" per (link, size, rate). FixedPerLink scales a
+// reference packet-error-rate (quoted for 1500-byte frames, as the paper does) to other
+// frame sizes assuming independent bit errors. PathLossModel maps distance and wall count
+// to SNR via log-distance propagation, from which both a rate choice (SNR ladder) and a
+// residual loss rate can be derived - this powers the EXP-1 style scenarios.
+#ifndef TBF_PHY_CHANNEL_H_
+#define TBF_PHY_CHANNEL_H_
+
+#include <cmath>
+#include <map>
+#include <utility>
+
+#include "tbf/phy/rates.h"
+#include "tbf/sim/random.h"
+#include "tbf/util/units.h"
+
+namespace tbf::phy {
+
+// Probability that a frame of `frame_bytes` sent at `rate` on link src->dst is corrupted.
+class LossModel {
+ public:
+  virtual ~LossModel() = default;
+  virtual double FrameLossProb(NodeId src, NodeId dst, int frame_bytes, WifiRate rate) const = 0;
+};
+
+// Zero loss everywhere; the default for controlled experiments (paper runs quote <2% loss,
+// which is indistinguishable from zero for throughput shape).
+class PerfectChannel : public LossModel {
+ public:
+  double FrameLossProb(NodeId, NodeId, int, WifiRate) const override { return 0.0; }
+};
+
+// Per-link reference PER for 1500-byte frames, extrapolated to other sizes via
+// p(s) = 1 - (1 - p_ref)^(s / 1500). Links default to lossless.
+class FixedPerLink : public LossModel {
+ public:
+  static constexpr int kReferenceBytes = 1500;
+
+  void SetLinkPer(NodeId src, NodeId dst, double per) { per_[{src, dst}] = per; }
+
+  // Convenience: sets both directions between a client and the AP.
+  void SetClientPer(NodeId client, double per) {
+    SetLinkPer(client, kApId, per);
+    SetLinkPer(kApId, client, per);
+  }
+
+  double FrameLossProb(NodeId src, NodeId dst, int frame_bytes, WifiRate) const override {
+    auto it = per_.find({src, dst});
+    if (it == per_.end() || it->second <= 0.0) {
+      return 0.0;
+    }
+    const double survive_ref = 1.0 - it->second;
+    const double exponent = static_cast<double>(frame_bytes) / kReferenceBytes;
+    return 1.0 - std::pow(survive_ref, exponent);
+  }
+
+ private:
+  std::map<std::pair<NodeId, NodeId>, double> per_;
+};
+
+// Per-client SNR-driven loss: the frame error rate rises steeply once a link's SNR falls
+// toward the minimum required by the chosen rate. This couples loss to rate (the
+// rate/BER trade-off of Section 1 of the paper), which is what makes ARF settle at the
+// right rung instead of climbing indefinitely; p(margin) is a logistic in the dB margin
+// above the rate's SNR floor, quoted for 1500-byte frames and scaled by size.
+class SnrLossModel : public LossModel {
+ public:
+  static constexpr int kReferenceBytes = 1500;
+
+  void SetClientSnr(NodeId client, double snr_db) { snr_[client] = snr_db; }
+
+  bool HasClient(NodeId client) const { return snr_.contains(client); }
+
+  double FrameLossProb(NodeId src, NodeId dst, int frame_bytes, WifiRate rate) const override {
+    const NodeId client = src == kApId ? dst : src;
+    auto it = snr_.find(client);
+    if (it == snr_.end()) {
+      return 0.0;
+    }
+    const double margin = it->second - GetRateInfo(rate).min_snr_db;
+    const double per_ref = 1.0 / (1.0 + std::exp(1.2 * (margin - 1.0)));
+    const double survive = std::pow(1.0 - per_ref,
+                                    static_cast<double>(frame_bytes) / kReferenceBytes);
+    return 1.0 - survive;
+  }
+
+ private:
+  std::map<NodeId, double> snr_;
+};
+
+// Log-distance indoor propagation with per-wall attenuation.
+struct PathLossConfig {
+  double tx_power_dbm = 15.0;       // Typical 802.11b card.
+  double path_loss_exponent = 5.0;  // Heavily obstructed indoor office (paper's EXP-1 room).
+  double reference_loss_db = 40.0;  // Loss at 1 m, 2.4 GHz.
+  double wall_loss_db = 7.0;        // Thin wooden wall.
+  double thick_wall_loss_db = 12.0;
+  double noise_floor_dbm = -92.0;
+  double shadowing_sigma_db = 0.0;  // Optional lognormal shadowing.
+};
+
+class PathLossModel {
+ public:
+  explicit PathLossModel(PathLossConfig config = {}) : config_(config) {}
+
+  // Mean SNR in dB at `distance_m`, behind `thin_walls` + `thick_walls` walls.
+  double SnrDb(double distance_m, int thin_walls = 0, int thick_walls = 0) const {
+    const double d = distance_m < 0.1 ? 0.1 : distance_m;
+    const double loss = config_.reference_loss_db +
+                        10.0 * config_.path_loss_exponent * std::log10(d) +
+                        thin_walls * config_.wall_loss_db +
+                        thick_walls * config_.thick_wall_loss_db;
+    return config_.tx_power_dbm - loss - config_.noise_floor_dbm;
+  }
+
+  // SNR with one lognormal shadowing draw applied.
+  double SnrDbShadowed(double distance_m, int thin_walls, int thick_walls,
+                       sim::Rng& rng) const {
+    double snr = SnrDb(distance_m, thin_walls, thick_walls);
+    if (config_.shadowing_sigma_db > 0.0) {
+      std::normal_distribution<double> dist(0.0, config_.shadowing_sigma_db);
+      snr += dist(rng.engine());
+    }
+    return snr;
+  }
+
+  // The rate an SNR-driven controller would pick at this position.
+  WifiRate RateAt(double distance_m, int thin_walls, int thick_walls, bool ofdm_capable) const {
+    return RateForSnr(SnrDb(distance_m, thin_walls, thick_walls), ofdm_capable);
+  }
+
+  const PathLossConfig& config() const { return config_; }
+
+ private:
+  PathLossConfig config_;
+};
+
+constexpr double FeetToMeters(double feet) { return feet * 0.3048; }
+
+}  // namespace tbf::phy
+
+#endif  // TBF_PHY_CHANNEL_H_

@@ -1,0 +1,68 @@
+// 802.11b (DSSS/CCK) and 802.11g (ERP-OFDM) rate definitions.
+#ifndef TBF_PHY_RATES_H_
+#define TBF_PHY_RATES_H_
+
+#include <array>
+#include <string_view>
+
+#include "tbf/util/units.h"
+
+namespace tbf::phy {
+
+enum class WifiRate {
+  // 802.11b DSSS/CCK.
+  k1Mbps,
+  k2Mbps,
+  k5_5Mbps,
+  k11Mbps,
+  // 802.11g ERP-OFDM.
+  k6Mbps,
+  k9Mbps,
+  k12Mbps,
+  k18Mbps,
+  k24Mbps,
+  k36Mbps,
+  k48Mbps,
+  k54Mbps,
+};
+
+inline constexpr int kNumWifiRates = 12;
+
+enum class Modulation { kDsss, kOfdm };
+
+struct RateInfo {
+  WifiRate rate;
+  BitRate bps;
+  Modulation modulation;
+  std::string_view name;
+  // Minimum SNR (dB) for a usable link at this rate; drives the SNR->rate table.
+  double min_snr_db;
+};
+
+// Descriptor lookup; total function over the enum.
+const RateInfo& GetRateInfo(WifiRate rate);
+
+// Printable short name, e.g. "5.5Mbps".
+std::string_view RateName(WifiRate rate);
+
+// All 802.11b rates in increasing order.
+const std::array<WifiRate, 4>& DsssRates();
+
+// All 802.11g rates in increasing order.
+const std::array<WifiRate, 8>& OfdmRates();
+
+// The control-response (MAC ACK) rate for a given data rate: the highest rate in the
+// basic rate set that does not exceed the data rate. For DSSS the basic set is {1, 2};
+// for ERP-OFDM it is {6, 12, 24}.
+WifiRate AckRateFor(WifiRate data_rate);
+
+// Next lower / higher rate within the same PHY family; returns the same rate at the edges.
+WifiRate StepDown(WifiRate rate);
+WifiRate StepUp(WifiRate rate);
+
+// Highest rate whose minimum SNR is satisfied; falls back to the most robust DSSS/OFDM rate.
+WifiRate RateForSnr(double snr_db, bool ofdm_capable);
+
+}  // namespace tbf::phy
+
+#endif  // TBF_PHY_RATES_H_

@@ -1,0 +1,146 @@
+// Transmission rate selection, per peer link.
+//
+// FixedRateController pins each link to a configured rate (the controlled experiments).
+// ArfController implements Auto Rate Fallback (Kamerman & Monteban, WaveLAN-II): step down
+// after consecutive failures, probe up after a success streak or a timer - the scheme the
+// paper cites as the vendors' automatic rate control.
+#ifndef TBF_RATEADAPT_RATE_CONTROLLER_H_
+#define TBF_RATEADAPT_RATE_CONTROLLER_H_
+
+#include <map>
+#include <set>
+
+#include "tbf/phy/rates.h"
+#include "tbf/util/units.h"
+
+namespace tbf::rateadapt {
+
+class RateController {
+ public:
+  virtual ~RateController() = default;
+  virtual phy::WifiRate CurrentRate(NodeId peer) = 0;
+  // `attempts` = number of MAC transmissions used (1 = first try succeeded).
+  virtual void OnTxResult(NodeId peer, bool success, int attempts) = 0;
+};
+
+class FixedRateController : public RateController {
+ public:
+  explicit FixedRateController(phy::WifiRate default_rate = phy::WifiRate::k11Mbps)
+      : default_rate_(default_rate) {}
+
+  void SetRate(NodeId peer, phy::WifiRate rate) { rates_[peer] = rate; }
+
+  phy::WifiRate CurrentRate(NodeId peer) override {
+    auto it = rates_.find(peer);
+    return it == rates_.end() ? default_rate_ : it->second;
+  }
+
+  void OnTxResult(NodeId, bool, int) override {}
+
+ private:
+  phy::WifiRate default_rate_;
+  std::map<NodeId, phy::WifiRate> rates_;
+};
+
+struct ArfConfig {
+  int down_after_failures = 2;   // Consecutive failed frames before stepping down.
+  int up_after_successes = 10;   // Success streak before probing the next rate up.
+  phy::WifiRate initial_rate = phy::WifiRate::k11Mbps;
+};
+
+class ArfController : public RateController {
+ public:
+  explicit ArfController(ArfConfig config = {}) : config_(config) {}
+
+  phy::WifiRate CurrentRate(NodeId peer) override { return State(peer).rate; }
+
+  // Pins the current rate (e.g. association-time rate from SNR); ARF adapts from there.
+  void Seed(NodeId peer, phy::WifiRate rate) {
+    PeerState& st = State(peer);
+    st.rate = rate;
+    st.successes = 0;
+    st.failures = 0;
+    st.probing = false;
+  }
+
+  void OnTxResult(NodeId peer, bool success, int attempts) override {
+    PeerState& st = State(peer);
+    // A delivered frame that needed retries still signals a marginal link; treat more
+    // than two attempts as a failure indication for adaptation purposes.
+    const bool good = success && attempts <= 2;
+    if (good) {
+      st.failures = 0;
+      ++st.successes;
+      if (st.successes >= config_.up_after_successes) {
+        st.successes = 0;
+        st.rate = phy::StepUp(st.rate);
+        st.probing = true;
+        return;
+      }
+      st.probing = false;
+      return;
+    }
+    ++st.failures;
+    st.successes = 0;
+    if (st.probing || st.failures >= config_.down_after_failures) {
+      st.rate = phy::StepDown(st.rate);
+      st.failures = 0;
+      st.probing = false;
+    }
+  }
+
+ private:
+  struct PeerState {
+    phy::WifiRate rate;
+    int successes = 0;
+    int failures = 0;
+    bool probing = false;
+  };
+
+  PeerState& State(NodeId peer) {
+    auto it = states_.find(peer);
+    if (it == states_.end()) {
+      it = states_.emplace(peer, PeerState{config_.initial_rate}).first;
+    }
+    return it->second;
+  }
+
+  ArfConfig config_;
+  std::map<NodeId, PeerState> states_;
+};
+
+// Routes rate decisions per peer: peers marked adaptive use a shared ARF instance, all
+// others use pinned rates. This is what an AP with per-client rate state looks like.
+class CompositeRateController : public RateController {
+ public:
+  explicit CompositeRateController(ArfConfig arf_config = {}) : arf_(arf_config) {}
+
+  void PinRate(NodeId peer, phy::WifiRate rate) { fixed_.SetRate(peer, rate); }
+
+  void MarkAdaptive(NodeId peer, phy::WifiRate initial) {
+    adaptive_.insert(peer);
+    arf_.Seed(peer, initial);
+  }
+
+  phy::WifiRate CurrentRate(NodeId peer) override {
+    if (adaptive_.contains(peer)) {
+      return arf_.CurrentRate(peer);
+    }
+    return fixed_.CurrentRate(peer);
+  }
+
+  void OnTxResult(NodeId peer, bool success, int attempts) override {
+    if (adaptive_.contains(peer)) {
+      arf_.OnTxResult(peer, success, attempts);
+    }
+  }
+
+ private:
+  FixedRateController fixed_;
+  ArfController arf_;
+  std::set<NodeId> adaptive_;
+};
+
+}  // namespace tbf::rateadapt
+
+#endif  // TBF_RATEADAPT_RATE_CONTROLLER_H_

@@ -1,0 +1,49 @@
+// Result records returned by scenario runs.
+#ifndef TBF_SCENARIO_RESULTS_H_
+#define TBF_SCENARIO_RESULTS_H_
+
+#include <map>
+#include <vector>
+
+#include "tbf/util/units.h"
+
+namespace tbf::scenario {
+
+struct FlowResult {
+  int flow_id = -1;
+  NodeId client = kInvalidNodeId;
+  bool tcp = true;
+  int64_t bytes_delivered = 0;   // Payload bytes within the measurement window.
+  double goodput_bps = 0.0;
+  // Task flows: wall-clock completion measured from flow start; -1 if unfinished.
+  TimeNs completion_time = -1;
+  int64_t retransmits = 0;
+  int64_t timeouts = 0;
+};
+
+struct Results {
+  // Per wireless client, measured over the window.
+  std::map<NodeId, double> goodput_bps;
+  std::map<NodeId, double> airtime_share;
+  double aggregate_bps = 0.0;
+  double utilization = 0.0;  // Fraction of the window the channel carried energy.
+  std::vector<FlowResult> flows;
+
+  int64_t mac_collisions = 0;
+  int64_t mac_exchanges = 0;
+  int64_t ap_drops = 0;
+
+  double GoodputMbps(NodeId client) const {
+    auto it = goodput_bps.find(client);
+    return it == goodput_bps.end() ? 0.0 : it->second / 1e6;
+  }
+  double AggregateMbps() const { return aggregate_bps / 1e6; }
+  double AirtimeShare(NodeId client) const {
+    auto it = airtime_share.find(client);
+    return it == airtime_share.end() ? 0.0 : it->second;
+  }
+};
+
+}  // namespace tbf::scenario
+
+#endif  // TBF_SCENARIO_RESULTS_H_

@@ -1,0 +1,306 @@
+#include "tbf/scenario/wlan.h"
+
+#include <algorithm>
+
+#include "tbf/util/logging.h"
+
+namespace tbf::scenario {
+namespace {
+
+// Routes loss lookups to the SNR model for stations configured with snr_db, and to the
+// fixed-PER table for everyone else.
+class DispatchLossModel : public phy::LossModel {
+ public:
+  DispatchLossModel(const phy::FixedPerLink* fixed, const phy::SnrLossModel* snr)
+      : fixed_(fixed), snr_(snr) {}
+
+  double FrameLossProb(NodeId src, NodeId dst, int frame_bytes,
+                       phy::WifiRate rate) const override {
+    const NodeId client = src == kApId ? dst : src;
+    if (snr_->HasClient(client)) {
+      return snr_->FrameLossProb(src, dst, frame_bytes, rate);
+    }
+    return fixed_->FrameLossProb(src, dst, frame_bytes, rate);
+  }
+
+ private:
+  const phy::FixedPerLink* fixed_;
+  const phy::SnrLossModel* snr_;
+};
+
+}  // namespace
+
+// One constructed flow: transport endpoints plus measurement counters.
+struct Wlan::FlowRuntime {
+  FlowSpec spec;
+  int flow_id = -1;
+
+  std::unique_ptr<net::TcpSender> tcp_sender;
+  std::unique_ptr<net::TcpReceiver> tcp_receiver;
+  std::unique_ptr<net::UdpSource> udp_source;
+  std::unique_ptr<net::UdpSink> udp_sink;
+
+  int64_t delivered_bytes = 0;   // Total payload delivered (from flow start).
+  int64_t window_snapshot = 0;   // Delivered bytes at warmup.
+};
+
+Wlan::Wlan(ScenarioConfig config) : config_(config) {}
+
+Wlan::~Wlan() = default;
+
+StationSpec& Wlan::AddStation(NodeId id, phy::WifiRate rate, double per) {
+  StationSpec spec;
+  spec.id = id;
+  spec.rate = rate;
+  spec.per = per;
+  return AddStation(spec);
+}
+
+StationSpec& Wlan::AddStation(StationSpec spec) {
+  TBF_CHECK(!built_) << "AddStation after Run";
+  TBF_CHECK(spec.id > 0 && spec.id < kServerId) << "client ids must be in (0, kServerId)";
+  station_specs_.push_back(spec);
+  return station_specs_.back();
+}
+
+FlowSpec& Wlan::AddFlow(FlowSpec spec) {
+  TBF_CHECK(!built_) << "AddFlow after Run";
+  flow_specs_.push_back(spec);
+  return flow_specs_.back();
+}
+
+FlowSpec& Wlan::AddBulkTcp(NodeId client, Direction direction) {
+  FlowSpec spec;
+  spec.client = client;
+  spec.direction = direction;
+  spec.transport = Transport::kTcp;
+  return AddFlow(spec);
+}
+
+FlowSpec& Wlan::AddSaturatingUdp(NodeId client, Direction direction) {
+  FlowSpec spec;
+  spec.client = client;
+  spec.direction = direction;
+  spec.transport = Transport::kUdp;
+  spec.udp_rate = Mbps(9);  // Above any single DSSS link's capacity.
+  return AddFlow(spec);
+}
+
+std::unique_ptr<ap::Qdisc> Wlan::MakeQdisc() {
+  switch (config_.qdisc) {
+    case QdiscKind::kFifo:
+      return std::make_unique<ap::FifoQdisc>(config_.fifo_limit);
+    case QdiscKind::kRoundRobin:
+      return std::make_unique<ap::RoundRobinQdisc>(config_.per_queue_limit);
+    case QdiscKind::kDrr:
+      return std::make_unique<ap::DrrQdisc>(config_.per_queue_limit);
+    case QdiscKind::kOarBurst: {
+      // OAR-style comparison baseline: bursts sized by the client's current rate.
+      rateadapt::CompositeRateController* rates = ap_rates_.get();
+      return std::make_unique<ap::BurstRoundRobinQdisc>(
+          [rates](NodeId client) { return phy::GetRateInfo(rates->CurrentRate(client)).bps; },
+          Mbps(1), config_.per_queue_limit);
+    }
+    case QdiscKind::kTbr: {
+      auto tbr = std::make_unique<core::TimeBasedRegulator>(&sim_, config_.timings,
+                                                            config_.tbr);
+      tbr_ = tbr.get();
+      return tbr;
+    }
+  }
+  return nullptr;
+}
+
+void Wlan::Build() {
+  TBF_CHECK(!built_);
+  built_ = true;
+
+  rng_ = std::make_unique<sim::Rng>(config_.seed);
+  fixed_loss_ = std::make_unique<phy::FixedPerLink>();
+  snr_loss_ = std::make_unique<phy::SnrLossModel>();
+  loss_ = std::make_unique<DispatchLossModel>(fixed_loss_.get(), snr_loss_.get());
+  medium_ = std::make_unique<mac::Medium>(&sim_, config_.timings, loss_.get(), rng_.get());
+  ap_rates_ = std::make_unique<rateadapt::CompositeRateController>();
+  ap_ = std::make_unique<ap::AccessPoint>(&sim_, medium_.get(), MakeQdisc(), ap_rates_.get());
+  wired_ = std::make_unique<net::WiredLink>(&sim_, config_.wired_rate, config_.wired_delay);
+  demux_ = std::make_unique<net::Demux>();
+  server_ = std::make_unique<net::WiredHost>(&sim_, kServerId, demux_.get(), wired_.get());
+
+  ap_->ConnectWired(wired_.get());
+  wired_->SetTowardAp([this](net::PacketPtr p) { ap_->EnqueueDownlink(std::move(p)); });
+
+  for (const StationSpec& spec : station_specs_) {
+    if (spec.snr_db != 0.0) {
+      snr_loss_->SetClientSnr(spec.id, spec.snr_db);
+    } else if (spec.per > 0.0) {
+      fixed_loss_->SetClientPer(spec.id, spec.per);
+    }
+    std::unique_ptr<rateadapt::RateController> client_rates;
+    if (spec.arf) {
+      rateadapt::ArfConfig arf;
+      arf.initial_rate = spec.rate;
+      auto ctrl = std::make_unique<rateadapt::ArfController>(arf);
+      ctrl->Seed(kApId, spec.rate);
+      client_rates = std::move(ctrl);
+      ap_rates_->MarkAdaptive(spec.id, spec.rate);
+    } else {
+      auto ctrl = std::make_unique<rateadapt::FixedRateController>(spec.rate);
+      client_rates = std::move(ctrl);
+      ap_rates_->PinRate(spec.id, spec.rate);
+    }
+    hosts_.emplace(spec.id, std::make_unique<net::WirelessHost>(
+                                &sim_, medium_.get(), spec.id, std::move(client_rates),
+                                demux_.get(), spec.queue_limit));
+    ap_->Associate(spec.id);
+  }
+
+  if (tbr_ != nullptr && config_.tbr.client_agent) {
+    tbr_->SetClientPauseFn([this](NodeId client, TimeNs until) {
+      auto it = hosts_.find(client);
+      if (it != hosts_.end()) {
+        it->second->PauseUplinkUntil(until);
+      }
+    });
+  }
+
+  int next_flow_id = 1;
+  for (const FlowSpec& spec : flow_specs_) {
+    auto it = hosts_.find(spec.client);
+    TBF_CHECK(it != hosts_.end()) << "flow references unknown station " << spec.client;
+    net::WirelessHost* host = it->second.get();
+
+    auto rt = std::make_unique<FlowRuntime>();
+    rt->spec = spec;
+    rt->flow_id = next_flow_id++;
+
+    net::FlowAddress addr;
+    addr.flow_id = rt->flow_id;
+    addr.wlan_client = spec.client;
+
+    const bool uplink = spec.direction == Direction::kUplink;
+    addr.sender = uplink ? spec.client : kServerId;
+    addr.receiver = uplink ? kServerId : spec.client;
+
+    auto sender_out = [this, host, uplink](net::PacketPtr p) {
+      if (uplink) {
+        host->SendPacket(std::move(p));
+      } else {
+        server_->SendPacket(std::move(p));
+      }
+    };
+    auto receiver_out = [this, host, uplink](net::PacketPtr p) {
+      if (uplink) {
+        server_->SendPacket(std::move(p));  // Acks travel back down through the AP.
+      } else {
+        host->SendPacket(std::move(p));
+      }
+    };
+
+    FlowRuntime* rt_ptr = rt.get();
+    auto deliver = [rt_ptr](int64_t bytes) { rt_ptr->delivered_bytes += bytes; };
+
+    if (spec.transport == Transport::kTcp) {
+      net::TcpConfig tcp;
+      tcp.mss = spec.packet_bytes - net::kIpTcpHeaderBytes;
+      rt->tcp_sender = std::make_unique<net::TcpSender>(&sim_, tcp, addr, sender_out);
+      rt->tcp_receiver =
+          std::make_unique<net::TcpReceiver>(&sim_, tcp, addr, receiver_out, deliver);
+      if (spec.task_bytes > 0) {
+        rt->tcp_sender->SetTaskBytes(spec.task_bytes);
+      }
+      if (spec.app_limit_bps > 0) {
+        rt->tcp_sender->SetAppLimitBps(spec.app_limit_bps);
+      }
+      demux_->Register(addr.sender, addr.flow_id, rt->tcp_sender.get());
+      demux_->Register(addr.receiver, addr.flow_id, rt->tcp_receiver.get());
+      rt->tcp_sender->Start(spec.start);
+    } else {
+      rt->udp_source = std::make_unique<net::UdpSource>(
+          &sim_, addr, sender_out, spec.udp_rate, spec.packet_bytes,
+          spec.task_bytes > 0 ? spec.task_bytes / std::max(spec.packet_bytes - 28, 1) : 0,
+          rng_.get());
+      rt->udp_sink = std::make_unique<net::UdpSink>(deliver);
+      demux_->Register(addr.receiver, addr.flow_id, rt->udp_sink.get());
+      // Stagger CBR starts so synchronized sources do not phase-lock on shared queues.
+      rt->udp_source->Start(spec.start + rt->flow_id * Us(97));
+    }
+    flows_.push_back(std::move(rt));
+  }
+}
+
+net::WirelessHost* Wlan::host(NodeId id) {
+  auto it = hosts_.find(id);
+  return it == hosts_.end() ? nullptr : it->second.get();
+}
+
+void Wlan::BuildNow() {
+  if (!built_) {
+    Build();
+  }
+}
+
+Results Wlan::Run() {
+  if (!built_) {
+    Build();
+  }
+
+  // Warmup, then snapshot counters.
+  std::map<NodeId, TimeNs> airtime_at_warmup;
+  TimeNs busy_at_warmup = 0;
+  sim_.RunUntil(config_.warmup);
+  for (const auto& [node, t] : medium_->airtime_meter().by_node()) {
+    airtime_at_warmup[node] = t;
+  }
+  busy_at_warmup = medium_->busy_time();
+  for (auto& flow : flows_) {
+    flow->window_snapshot = flow->delivered_bytes;
+  }
+
+  sim_.RunUntil(config_.warmup + config_.duration);
+
+  Results results;
+  const double window_sec = ToSeconds(config_.duration);
+
+  TimeNs total_airtime_delta = 0;
+  std::map<NodeId, TimeNs> airtime_delta;
+  for (const auto& [node, t] : medium_->airtime_meter().by_node()) {
+    const TimeNs before =
+        airtime_at_warmup.contains(node) ? airtime_at_warmup[node] : 0;
+    airtime_delta[node] = t - before;
+    total_airtime_delta += t - before;
+  }
+  for (const auto& [node, dt] : airtime_delta) {
+    results.airtime_share[node] =
+        total_airtime_delta > 0
+            ? static_cast<double>(dt) / static_cast<double>(total_airtime_delta)
+            : 0.0;
+  }
+
+  for (auto& flow : flows_) {
+    FlowResult fr;
+    fr.flow_id = flow->flow_id;
+    fr.client = flow->spec.client;
+    fr.tcp = flow->spec.transport == Transport::kTcp;
+    fr.bytes_delivered = flow->delivered_bytes - flow->window_snapshot;
+    fr.goodput_bps = static_cast<double>(fr.bytes_delivered) * 8.0 / window_sec;
+    if (flow->tcp_sender != nullptr) {
+      fr.retransmits = flow->tcp_sender->retransmits();
+      fr.timeouts = flow->tcp_sender->timeouts();
+      if (flow->tcp_sender->Done()) {
+        fr.completion_time = flow->tcp_sender->completion_time() - flow->spec.start;
+      }
+    }
+    results.goodput_bps[flow->spec.client] += fr.goodput_bps;
+    results.aggregate_bps += fr.goodput_bps;
+    results.flows.push_back(fr);
+  }
+
+  results.utilization =
+      static_cast<double>(medium_->busy_time() - busy_at_warmup) / config_.duration;
+  results.mac_collisions = medium_->collisions();
+  results.mac_exchanges = medium_->exchanges();
+  results.ap_drops = ap_->downlink_drops();
+  return results;
+}
+
+}  // namespace tbf::scenario

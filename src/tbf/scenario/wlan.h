@@ -1,0 +1,128 @@
+// Declarative WLAN scenario builder.
+//
+// Describes a single-cell infrastructure WLAN - stations (rate, loss), flows (TCP/UDP,
+// direction, task size, app limit) and the AP queueing discipline - then builds the full
+// stack (medium, DCF stations, AP + qdisc, wired backbone, transports), runs it, and
+// returns per-node goodput, airtime shares and per-flow results measured after a warmup.
+// Every bench and example in this repository is a thin wrapper around this class.
+#ifndef TBF_SCENARIO_WLAN_H_
+#define TBF_SCENARIO_WLAN_H_
+
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "tbf/ap/access_point.h"
+#include "tbf/core/tbr.h"
+#include "tbf/mac/medium.h"
+#include "tbf/net/host.h"
+#include "tbf/net/tcp.h"
+#include "tbf/net/udp.h"
+#include "tbf/phy/channel.h"
+#include "tbf/rateadapt/rate_controller.h"
+#include "tbf/scenario/results.h"
+#include "tbf/sim/simulator.h"
+
+namespace tbf::scenario {
+
+enum class Direction { kUplink, kDownlink };
+enum class Transport { kTcp, kUdp };
+enum class QdiscKind { kFifo, kRoundRobin, kDrr, kTbr, kOarBurst };
+
+struct StationSpec {
+  NodeId id = kInvalidNodeId;
+  phy::WifiRate rate = phy::WifiRate::k11Mbps;
+  double per = 0.0;   // Reference frame loss probability (1500-byte frames).
+  bool arf = false;   // Adapt rate with ARF instead of pinning it.
+  // When set (non-zero), the station's loss follows the SNR-margin model instead of the
+  // fixed PER: error rate couples to the chosen rate, so ARF settles at the SNR-correct
+  // rung. `rate` is then just the starting rate (use phy::RateForSnr for consistency).
+  double snr_db = 0.0;
+  size_t queue_limit = 50;
+};
+
+struct FlowSpec {
+  NodeId client = kInvalidNodeId;
+  Direction direction = Direction::kUplink;
+  Transport transport = Transport::kTcp;
+  int64_t task_bytes = 0;       // 0 = unbounded transfer (fluid model).
+  BitRate app_limit_bps = 0;    // TCP sender-side application cap (0 = none).
+  BitRate udp_rate = Mbps(8);   // CBR rate for UDP sources.
+  int packet_bytes = 1500;      // IP datagram size.
+  TimeNs start = 0;
+};
+
+struct ScenarioConfig {
+  QdiscKind qdisc = QdiscKind::kFifo;
+  core::TbrConfig tbr;          // Used when qdisc == kTbr.
+  size_t fifo_limit = 110;      // Stock kernel interface queue (Exp-Normal).
+  size_t per_queue_limit = 50;  // RR / DRR per-client queues.
+  phy::MacTimings timings = phy::MixedModeTimings();
+  uint64_t seed = 1;
+  BitRate wired_rate = Mbps(100);
+  TimeNs wired_delay = Us(500);
+  TimeNs warmup = Sec(2);       // Stats ignore this prefix.
+  TimeNs duration = Sec(30);    // Measurement window length.
+};
+
+class Wlan {
+ public:
+  explicit Wlan(ScenarioConfig config = {});
+  ~Wlan();
+
+  Wlan(const Wlan&) = delete;
+  Wlan& operator=(const Wlan&) = delete;
+
+  // Declaration phase (before Run).
+  StationSpec& AddStation(NodeId id, phy::WifiRate rate, double per = 0.0);
+  StationSpec& AddStation(StationSpec spec);
+  FlowSpec& AddFlow(FlowSpec spec);
+
+  // Convenience: one saturated TCP flow for `client` in `direction`.
+  FlowSpec& AddBulkTcp(NodeId client, Direction direction);
+  FlowSpec& AddSaturatingUdp(NodeId client, Direction direction);
+
+  // Constructs the full stack without running. Call when pre-run configuration of live
+  // components is needed (e.g. TBR weights); Run() builds implicitly otherwise.
+  void BuildNow();
+
+  // Builds the stack and runs warmup + duration. Returns measured results.
+  Results Run();
+
+  // Post-run (or mid-run via callbacks) introspection.
+  core::TimeBasedRegulator* tbr() { return tbr_; }
+  mac::Medium* medium() { return medium_.get(); }
+  sim::Simulator& simulator() { return sim_; }
+  net::WirelessHost* host(NodeId id);
+
+ private:
+  struct FlowRuntime;
+
+  void Build();
+  std::unique_ptr<ap::Qdisc> MakeQdisc();
+
+  ScenarioConfig config_;
+  std::vector<StationSpec> station_specs_;
+  std::vector<FlowSpec> flow_specs_;
+
+  // Runtime (populated by Build).
+  sim::Simulator sim_;
+  std::unique_ptr<sim::Rng> rng_;
+  std::unique_ptr<phy::FixedPerLink> fixed_loss_;
+  std::unique_ptr<phy::SnrLossModel> snr_loss_;
+  std::unique_ptr<phy::LossModel> loss_;  // Dispatches per client to the two above.
+  std::unique_ptr<mac::Medium> medium_;
+  std::unique_ptr<rateadapt::CompositeRateController> ap_rates_;
+  std::unique_ptr<ap::AccessPoint> ap_;
+  std::unique_ptr<net::WiredLink> wired_;
+  std::unique_ptr<net::Demux> demux_;
+  std::unique_ptr<net::WiredHost> server_;
+  std::map<NodeId, std::unique_ptr<net::WirelessHost>> hosts_;
+  std::vector<std::unique_ptr<FlowRuntime>> flows_;
+  core::TimeBasedRegulator* tbr_ = nullptr;
+  bool built_ = false;
+};
+
+}  // namespace tbf::scenario
+
+#endif  // TBF_SCENARIO_WLAN_H_

@@ -1,0 +1,60 @@
+// Deterministic random source shared by simulator components.
+//
+// All stochastic choices (backoff draws, loss events, trace generation) flow through one
+// Rng instance per scenario so runs are reproducible from a single seed.
+#ifndef TBF_SIM_RANDOM_H_
+#define TBF_SIM_RANDOM_H_
+
+#include <cmath>
+#include <cstdint>
+#include <random>
+
+namespace tbf::sim {
+
+class Rng {
+ public:
+  explicit Rng(uint64_t seed = 1) : engine_(seed) {}
+
+  // Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
+  int64_t UniformInt(int64_t lo, int64_t hi) {
+    std::uniform_int_distribution<int64_t> dist(lo, hi);
+    return dist(engine_);
+  }
+
+  // Uniform double in [0, 1).
+  double UniformDouble() {
+    std::uniform_real_distribution<double> dist(0.0, 1.0);
+    return dist(engine_);
+  }
+
+  bool Bernoulli(double p) {
+    if (p <= 0.0) {
+      return false;
+    }
+    if (p >= 1.0) {
+      return true;
+    }
+    return UniformDouble() < p;
+  }
+
+  // Exponential with the given mean (> 0).
+  double Exponential(double mean) {
+    std::exponential_distribution<double> dist(1.0 / mean);
+    return dist(engine_);
+  }
+
+  // Bounded Pareto sample, shape alpha, minimum xm. Heavy-tailed flow sizes.
+  double Pareto(double xm, double alpha) {
+    const double u = 1.0 - UniformDouble();  // (0, 1]
+    return xm / std::pow(u, 1.0 / alpha);
+  }
+
+  std::mt19937_64& engine() { return engine_; }
+
+ private:
+  std::mt19937_64 engine_;
+};
+
+}  // namespace tbf::sim
+
+#endif  // TBF_SIM_RANDOM_H_

@@ -1,0 +1,144 @@
+// Discrete-event simulation kernel.
+//
+// A Simulator owns a virtual clock and a priority queue of callbacks. Events scheduled for
+// the same instant fire in scheduling order (FIFO), which keeps runs deterministic for a
+// given seed. Cancellation is O(1) via lazy deletion.
+#ifndef TBF_SIM_SIMULATOR_H_
+#define TBF_SIM_SIMULATOR_H_
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_set>
+#include <vector>
+
+#include "tbf/util/units.h"
+
+namespace tbf::sim {
+
+using EventId = uint64_t;
+inline constexpr EventId kInvalidEventId = 0;
+
+class Simulator {
+ public:
+  using Callback = std::function<void()>;
+
+  Simulator() = default;
+  Simulator(const Simulator&) = delete;
+  Simulator& operator=(const Simulator&) = delete;
+
+  TimeNs Now() const { return now_; }
+
+  // Schedules `cb` to run `delay` from now. Negative delays clamp to zero.
+  EventId Schedule(TimeNs delay, Callback cb) {
+    return ScheduleAt(now_ + (delay < 0 ? 0 : delay), std::move(cb));
+  }
+
+  // Schedules `cb` at absolute time `when`; times in the past clamp to Now().
+  EventId ScheduleAt(TimeNs when, Callback cb) {
+    if (when < now_) {
+      when = now_;
+    }
+    const EventId id = next_id_++;
+    queue_.push(Entry{when, id, std::move(cb)});
+    ++live_events_;
+    return id;
+  }
+
+  // Cancels a pending event. Cancelling an already-fired or invalid id is a no-op.
+  void Cancel(EventId id) {
+    if (id != kInvalidEventId && cancelled_.insert(id).second) {
+      // The entry stays in the heap and is skipped when popped.
+    }
+  }
+
+  // Runs events until the queue is empty or the clock passes `until` (inclusive).
+  // Returns the number of events executed.
+  int64_t RunUntil(TimeNs until) {
+    int64_t executed = 0;
+    while (!queue_.empty() && !stopped_) {
+      const Entry& top = queue_.top();
+      if (top.when > until) {
+        break;
+      }
+      Entry entry = PopTop();
+      if (WasCancelled(entry.id)) {
+        continue;
+      }
+      now_ = entry.when;
+      entry.cb();
+      ++executed;
+    }
+    if (now_ < until && !stopped_) {
+      now_ = until;
+    }
+    stopped_ = false;
+    return executed;
+  }
+
+  // Runs every pending event regardless of timestamp.
+  int64_t RunUntilIdle() {
+    int64_t executed = 0;
+    while (!queue_.empty() && !stopped_) {
+      Entry entry = PopTop();
+      if (WasCancelled(entry.id)) {
+        continue;
+      }
+      now_ = entry.when;
+      entry.cb();
+      ++executed;
+    }
+    stopped_ = false;
+    return executed;
+  }
+
+  // Makes the currently running RunUntil/RunUntilIdle return after the active callback.
+  void Stop() { stopped_ = true; }
+
+  bool IsIdle() const { return live_events_ == cancelled_.size(); }
+
+  size_t pending_events() const { return live_events_ - cancelled_.size(); }
+
+ private:
+  struct Entry {
+    TimeNs when;
+    EventId id;
+    Callback cb;
+  };
+
+  struct Later {
+    bool operator()(const Entry& a, const Entry& b) const {
+      if (a.when != b.when) {
+        return a.when > b.when;
+      }
+      return a.id > b.id;  // FIFO for equal timestamps.
+    }
+  };
+
+  Entry PopTop() {
+    Entry entry = std::move(const_cast<Entry&>(queue_.top()));
+    queue_.pop();
+    --live_events_;
+    return entry;
+  }
+
+  bool WasCancelled(EventId id) {
+    auto it = cancelled_.find(id);
+    if (it == cancelled_.end()) {
+      return false;
+    }
+    cancelled_.erase(it);
+    return true;
+  }
+
+  TimeNs now_ = 0;
+  EventId next_id_ = 1;
+  size_t live_events_ = 0;
+  bool stopped_ = false;
+  std::priority_queue<Entry, std::vector<Entry>, Later> queue_;
+  std::unordered_set<EventId> cancelled_;
+};
+
+}  // namespace tbf::sim
+
+#endif  // TBF_SIM_SIMULATOR_H_

@@ -1,0 +1,88 @@
+// Measurement utilities: per-node airtime and throughput meters, fairness indices.
+#ifndef TBF_STATS_METERS_H_
+#define TBF_STATS_METERS_H_
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "tbf/util/units.h"
+
+namespace tbf::stats {
+
+// Accumulates channel occupancy time per owning client node. "Occupancy" follows the
+// paper's definition: data + ACK airtime plus the inter-frame idle (IFS + backoff) that
+// the exchange consumed, retransmissions included.
+class AirtimeMeter {
+ public:
+  void Charge(NodeId owner, TimeNs t) {
+    if (t > 0) {
+      airtime_[owner] += t;
+      total_ += t;
+    }
+  }
+
+  TimeNs Airtime(NodeId owner) const {
+    auto it = airtime_.find(owner);
+    return it == airtime_.end() ? 0 : it->second;
+  }
+
+  TimeNs TotalCharged() const { return total_; }
+
+  // Fraction of all charged airtime used by `owner`.
+  double Share(NodeId owner) const {
+    if (total_ <= 0) {
+      return 0.0;
+    }
+    return static_cast<double>(Airtime(owner)) / static_cast<double>(total_);
+  }
+
+  const std::map<NodeId, TimeNs>& by_node() const { return airtime_; }
+
+  void Reset() {
+    airtime_.clear();
+    total_ = 0;
+  }
+
+ private:
+  std::map<NodeId, TimeNs> airtime_;
+  TimeNs total_ = 0;
+};
+
+// Counts application payload bytes delivered per node (goodput numerator).
+class ThroughputMeter {
+ public:
+  void AddBytes(NodeId node, int64_t bytes) {
+    bytes_[node] += bytes;
+    total_ += bytes;
+  }
+
+  int64_t Bytes(NodeId node) const {
+    auto it = bytes_.find(node);
+    return it == bytes_.end() ? 0 : it->second;
+  }
+
+  int64_t TotalBytes() const { return total_; }
+
+  double Bps(NodeId node, TimeNs interval) const { return ThroughputBps(Bytes(node), interval); }
+  double TotalBps(TimeNs interval) const { return ThroughputBps(total_, interval); }
+
+  const std::map<NodeId, int64_t>& by_node() const { return bytes_; }
+
+  void Reset() {
+    bytes_.clear();
+    total_ = 0;
+  }
+
+ private:
+  std::map<NodeId, int64_t> bytes_;
+  int64_t total_ = 0;
+};
+
+// Jain's fairness index over a vector of allocations: (sum x)^2 / (n * sum x^2).
+// 1.0 = perfectly fair; 1/n = maximally unfair.
+double JainIndex(const std::vector<double>& allocations);
+
+}  // namespace tbf::stats
+
+#endif  // TBF_STATS_METERS_H_

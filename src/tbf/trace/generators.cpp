@@ -1,0 +1,182 @@
+#include "tbf/trace/generators.h"
+
+#include <algorithm>
+
+#include "tbf/phy/timing.h"
+
+namespace tbf::trace {
+namespace {
+
+constexpr int kFrameBytes = 1500 + phy::kMacDataOverheadBytes;
+
+phy::WifiRate DrawRate(const std::map<phy::WifiRate, double>& mix, sim::Rng& rng) {
+  double total = 0.0;
+  for (const auto& [rate, w] : mix) {
+    total += w;
+  }
+  double x = rng.UniformDouble() * total;
+  for (const auto& [rate, w] : mix) {
+    x -= w;
+    if (x <= 0.0) {
+      return rate;
+    }
+  }
+  return mix.rbegin()->first;
+}
+
+double ParetoMin(double mean, double alpha) { return mean * (alpha - 1.0) / alpha; }
+
+}  // namespace
+
+WorkshopConfig Ws1Config() {
+  WorkshopConfig c;
+  c.rate_mix = {{phy::WifiRate::k11Mbps, 0.82},
+                {phy::WifiRate::k5_5Mbps, 0.06},
+                {phy::WifiRate::k2Mbps, 0.04},
+                {phy::WifiRate::k1Mbps, 0.08}};
+  return c;
+}
+
+WorkshopConfig Ws2Config() {
+  WorkshopConfig c;
+  // The paper highlights WS-2: more than 30% of bytes below 11 Mbps.
+  c.rate_mix = {{phy::WifiRate::k11Mbps, 0.62},
+                {phy::WifiRate::k5_5Mbps, 0.13},
+                {phy::WifiRate::k2Mbps, 0.10},
+                {phy::WifiRate::k1Mbps, 0.15}};
+  return c;
+}
+
+WorkshopConfig Ws3Config() {
+  WorkshopConfig c;
+  c.rate_mix = {{phy::WifiRate::k11Mbps, 0.78},
+                {phy::WifiRate::k5_5Mbps, 0.08},
+                {phy::WifiRate::k2Mbps, 0.05},
+                {phy::WifiRate::k1Mbps, 0.09}};
+  return c;
+}
+
+TraceLog GenerateWorkshopTrace(const WorkshopConfig& config, sim::Rng& rng) {
+  TraceLog log;
+  const double flow_min = ParetoMin(config.mean_flow_bytes, config.pareto_alpha);
+
+  for (int user = 1; user <= config.users; ++user) {
+    TimeNs t = static_cast<TimeNs>(rng.Exponential(config.mean_think_sec) * 1e9);
+    while (t < config.duration) {
+      // One flow: rate drawn from the session's byte mixture, occasionally wandering a
+      // step (indoor channel variation during the transfer).
+      const phy::WifiRate flow_rate = DrawRate(config.rate_mix, rng);
+      auto bytes = static_cast<int64_t>(rng.Pareto(flow_min, config.pareto_alpha));
+      while (bytes > 0 && t < config.duration) {
+        // Occasional one-step fallback models transient channel dips without letting the
+        // flow's rate random-walk away from its drawn (position-determined) rate.
+        const phy::WifiRate rate =
+            rng.Bernoulli(0.05) ? phy::StepDown(flow_rate) : flow_rate;
+        TraceRecord r;
+        r.time = t;
+        r.node = user;
+        r.downlink = rng.Bernoulli(0.7);
+        r.bytes = static_cast<int>(std::min<int64_t>(bytes, kFrameBytes));
+        r.rate = rate;
+        r.retry = rng.Bernoulli(config.retry_prob);
+        r.success = true;
+        log.Add(r);
+        bytes -= r.bytes;
+        // Frame pacing ~ the airtime of the exchange at this rate (plus think jitter).
+        const TimeNs gap = phy::FrameAirtime(r.bytes, rate) + Us(350);
+        t += gap + (r.retry ? gap : 0);
+      }
+      t += static_cast<TimeNs>(rng.Exponential(config.mean_think_sec) * 1e9);
+    }
+  }
+  return log;
+}
+
+TraceLog GenerateResidenceTrace(const ResidenceConfig& config, sim::Rng& rng) {
+  TraceLog log;
+  const TimeNs step = Ms(100);
+  const double step_sec = ToSeconds(step);
+  const double flow_min = ParetoMin(config.mean_flow_bytes, config.pareto_alpha);
+
+  struct UserState {
+    double remaining_bytes = 0.0;  // 0 = thinking.
+    TimeNs wake_at = 0;
+    double peak_bps = 0.0;  // Device/app ceiling; most users cannot saturate alone.
+  };
+  std::vector<UserState> users(static_cast<size_t>(config.users));
+  for (size_t i = 0; i < users.size(); ++i) {
+    const double think =
+        i == 0 ? config.mean_think_sec / config.heavy_user_boost : config.mean_think_sec;
+    users[i].wake_at = static_cast<TimeNs>(rng.Exponential(think) * 1e9);
+    users[i].peak_bps = 1.5e6 + 3.0e6 * rng.UniformDouble();
+  }
+
+  for (TimeNs t = 0; t < config.duration; t += step) {
+    // Wake users whose think time expired.
+    std::vector<size_t> active;
+    for (size_t i = 0; i < users.size(); ++i) {
+      UserState& u = users[i];
+      if (u.remaining_bytes <= 0.0 && t >= u.wake_at) {
+        const double scale = i == 0 ? 2.0 : 1.0;
+        u.remaining_bytes = scale * rng.Pareto(flow_min, config.pareto_alpha);
+      }
+      if (u.remaining_bytes > 0.0) {
+        active.push_back(i);
+      }
+    }
+    if (active.empty()) {
+      continue;
+    }
+
+    // Waterfill the AP capacity across active users, capping at each user's peak.
+    std::vector<double> rate(active.size(), 0.0);
+    double left = config.ap_capacity_bps;
+    std::vector<size_t> unfilled(active.size());
+    for (size_t k = 0; k < active.size(); ++k) {
+      unfilled[k] = k;
+    }
+    while (!unfilled.empty() && left > 1.0) {
+      const double share = left / static_cast<double>(unfilled.size());
+      std::vector<size_t> still;
+      for (size_t k : unfilled) {
+        const double cap = users[active[k]].peak_bps;
+        const double take = std::min(share, cap - rate[k]);
+        rate[k] += take;
+        left -= take;
+        if (rate[k] < cap - 1.0) {
+          still.push_back(k);
+        }
+      }
+      if (still.size() == unfilled.size()) {
+        break;  // Nobody could take more.
+      }
+      unfilled = std::move(still);
+    }
+
+    for (size_t k = 0; k < active.size(); ++k) {
+      UserState& u = users[active[k]];
+      const double bytes = std::min(u.remaining_bytes, rate[k] * step_sec / 8.0);
+      if (bytes <= 0.0) {
+        continue;
+      }
+      u.remaining_bytes -= bytes;
+      if (u.remaining_bytes <= 0.0) {
+        const double think = active[k] == 0
+                                 ? config.mean_think_sec / config.heavy_user_boost
+                                 : config.mean_think_sec;
+        u.wake_at = t + static_cast<TimeNs>(rng.Exponential(think) * 1e9);
+      }
+      TraceRecord r;
+      r.time = t;
+      r.node = static_cast<NodeId>(active[k] + 1);
+      r.downlink = true;
+      r.bytes = static_cast<int>(bytes);
+      r.rate = phy::WifiRate::k11Mbps;
+      r.success = true;
+      log.Add(r);
+    }
+  }
+  return log;
+}
+
+}  // namespace tbf::trace

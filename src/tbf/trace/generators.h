@@ -1,0 +1,64 @@
+// Synthetic trace generators standing in for the paper's captured traces.
+//
+// The paper analyzed (i) sniffer traces of three 90-minute MIT workshop sessions (Fig. 1,
+// WS-1..3) and (ii) the Dartmouth Whittemore residential tcpdump trace (Fig. 5). Neither
+// raw capture ships here, so these generators synthesize frame-level traces with the
+// *published statistics*: per-rate byte mixtures for the workshop sessions, and a
+// residence-hall workload (heavy-tailed flows, multiple concurrent users, saturated
+// periods) for the busy-interval analysis. The analyzer code path is identical to what
+// real pcap-derived records would use.
+#ifndef TBF_TRACE_GENERATORS_H_
+#define TBF_TRACE_GENERATORS_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "tbf/sim/random.h"
+#include "tbf/trace/trace.h"
+
+namespace tbf::trace {
+
+struct WorkshopConfig {
+  TimeNs duration = Sec(90 * 60);
+  int users = 25;
+  // Target byte mixture per rate (normalized internally). Users draw a "home" rate from
+  // this mixture and occasionally wander one step (indoor channel variation).
+  std::map<phy::WifiRate, double> rate_mix = {
+      {phy::WifiRate::k11Mbps, 0.70},
+      {phy::WifiRate::k5_5Mbps, 0.10},
+      {phy::WifiRate::k2Mbps, 0.08},
+      {phy::WifiRate::k1Mbps, 0.12},
+  };
+  double mean_flow_bytes = 256.0 * 1024.0;  // Web-era transfer sizes, Pareto tail.
+  double pareto_alpha = 1.3;
+  double mean_think_sec = 30.0;  // Idle time between a user's flows.
+  double retry_prob = 0.03;
+};
+
+// Session mixes matching the paper's Fig. 1 bars: WS-2 moves >30% of bytes below 11 Mbps.
+WorkshopConfig Ws1Config();
+WorkshopConfig Ws2Config();
+WorkshopConfig Ws3Config();
+
+TraceLog GenerateWorkshopTrace(const WorkshopConfig& config, sim::Rng& rng);
+
+struct ResidenceConfig {
+  TimeNs duration = Sec(4 * 60 * 60);  // An afternoon at the dorm AP.
+  int users = 18;
+  double mean_flow_bytes = 1.5 * 1024.0 * 1024.0;  // File transfers dominate congestion.
+  double pareto_alpha = 1.15;
+  double mean_think_sec = 90.0;
+  // Channel capacity shared during overlaps; at most this many bytes/sec leave the AP.
+  double ap_capacity_bps = 5.2e6;
+  double heavy_user_boost = 6.0;  // One user (the "heaviest") is this much more active.
+};
+
+// Generates the residential trace: users run flows independently; when several overlap,
+// the AP capacity is split between them, producing exactly the Fig. 5 situation - busy
+// intervals where the heaviest user rarely holds the channel alone.
+TraceLog GenerateResidenceTrace(const ResidenceConfig& config, sim::Rng& rng);
+
+}  // namespace tbf::trace
+
+#endif  // TBF_TRACE_GENERATORS_H_

@@ -1,0 +1,62 @@
+#include "tbf/util/logging.h"
+
+#include <cstdlib>
+
+namespace tbf {
+namespace {
+
+LogLevel g_level = LogLevel::kWarning;
+
+}  // namespace
+
+LogLevel GetLogLevel() { return g_level; }
+
+void SetLogLevel(LogLevel level) { g_level = level; }
+
+const char* LogLevelName(LogLevel level) {
+  switch (level) {
+    case LogLevel::kTrace:
+      return "TRACE";
+    case LogLevel::kDebug:
+      return "DEBUG";
+    case LogLevel::kInfo:
+      return "INFO";
+    case LogLevel::kWarning:
+      return "WARN";
+    case LogLevel::kError:
+      return "ERROR";
+    case LogLevel::kNone:
+      return "NONE";
+  }
+  return "?";
+}
+
+namespace internal {
+
+LogMessage::LogMessage(LogLevel level, const char* file, int line) : level_(level) {
+  const char* base = file;
+  for (const char* p = file; *p != '\0'; ++p) {
+    if (*p == '/') {
+      base = p + 1;
+    }
+  }
+  stream_ << "[" << LogLevelName(level) << " " << base << ":" << line << "] ";
+}
+
+LogMessage::~LogMessage() {
+  stream_ << "\n";
+  std::cerr << stream_.str();
+  (void)level_;
+}
+
+CheckFailure::CheckFailure(const char* cond, const char* file, int line) {
+  std::cerr << "[CHECK failed] " << cond << " at " << file << ":" << line << ": ";
+}
+
+CheckFailure::~CheckFailure() {
+  std::cerr << "\n";
+  std::abort();
+}
+
+}  // namespace internal
+}  // namespace tbf

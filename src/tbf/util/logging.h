@@ -1,0 +1,64 @@
+// Minimal leveled logging with a global severity threshold.
+//
+// The simulator is deterministic and heavily tested, so logging is used mostly for scenario
+// debugging; benches run at kWarning to keep output clean.
+#ifndef TBF_UTIL_LOGGING_H_
+#define TBF_UTIL_LOGGING_H_
+
+#include <iostream>
+#include <sstream>
+#include <string>
+
+namespace tbf {
+
+enum class LogLevel { kTrace = 0, kDebug = 1, kInfo = 2, kWarning = 3, kError = 4, kNone = 5 };
+
+LogLevel GetLogLevel();
+void SetLogLevel(LogLevel level);
+const char* LogLevelName(LogLevel level);
+
+namespace internal {
+
+// Collects one log statement and flushes it (with level tag) on destruction.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  std::ostream& stream() { return stream_; }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+}  // namespace internal
+}  // namespace tbf
+
+#define TBF_LOG(level)                                          \
+  if (::tbf::LogLevel::level < ::tbf::GetLogLevel()) {          \
+  } else                                                        \
+    ::tbf::internal::LogMessage(::tbf::LogLevel::level, __FILE__, __LINE__).stream()
+
+#define TBF_CHECK(cond)                                                               \
+  if (cond) {                                                                         \
+  } else                                                                              \
+    ::tbf::internal::CheckFailure(#cond, __FILE__, __LINE__).stream()
+
+namespace tbf::internal {
+
+// Prints a fatal check failure and aborts on destruction.
+class CheckFailure {
+ public:
+  CheckFailure(const char* cond, const char* file, int line);
+  [[noreturn]] ~CheckFailure();
+
+  std::ostream& stream() { return std::cerr; }
+};
+
+}  // namespace tbf::internal
+
+#endif  // TBF_UTIL_LOGGING_H_

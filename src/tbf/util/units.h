@@ -1,0 +1,58 @@
+// Time, rate and size units used throughout the library.
+//
+// All simulation time is kept in integer nanoseconds (TimeNs). 802.11b timing constants are
+// microsecond-granular, but byte times at 11 Mbps (727.27 ns) require sub-microsecond ticks;
+// integer nanoseconds keep event ordering exact and reproducible.
+#ifndef TBF_UTIL_UNITS_H_
+#define TBF_UTIL_UNITS_H_
+
+#include <cstdint>
+
+namespace tbf {
+
+// Absolute simulation time or a duration, in nanoseconds.
+using TimeNs = int64_t;
+
+// Link/PHY rate in bits per second.
+using BitRate = int64_t;
+
+// Identifies a node in the WLAN. The access point is kApId; wireless clients are small
+// positive integers; wired hosts live at kServerId and above.
+using NodeId = int32_t;
+
+inline constexpr NodeId kApId = 0;
+inline constexpr NodeId kServerId = 1000;
+inline constexpr NodeId kInvalidNodeId = -1;
+
+inline constexpr TimeNs kNsPerUs = 1'000;
+inline constexpr TimeNs kNsPerMs = 1'000'000;
+inline constexpr TimeNs kNsPerSec = 1'000'000'000;
+
+constexpr TimeNs Us(int64_t us) { return us * kNsPerUs; }
+constexpr TimeNs Ms(int64_t ms) { return ms * kNsPerMs; }
+constexpr TimeNs Sec(int64_t s) { return s * kNsPerSec; }
+
+constexpr double ToSeconds(TimeNs t) { return static_cast<double>(t) / kNsPerSec; }
+constexpr double ToMillis(TimeNs t) { return static_cast<double>(t) / kNsPerMs; }
+constexpr double ToMicros(TimeNs t) { return static_cast<double>(t) / kNsPerUs; }
+
+constexpr BitRate Mbps(double mbps) { return static_cast<BitRate>(mbps * 1e6); }
+constexpr BitRate Kbps(double kbps) { return static_cast<BitRate>(kbps * 1e3); }
+
+// Time to serialize `bytes` at `rate`, rounded up to the next nanosecond.
+constexpr TimeNs TransmissionTime(int64_t bytes, BitRate rate) {
+  const int64_t bits = bytes * 8;
+  return (bits * kNsPerSec + rate - 1) / rate;
+}
+
+// Throughput in bits/second given a byte count delivered over an interval.
+constexpr double ThroughputBps(int64_t bytes, TimeNs interval) {
+  if (interval <= 0) {
+    return 0.0;
+  }
+  return static_cast<double>(bytes) * 8.0 / ToSeconds(interval);
+}
+
+}  // namespace tbf
+
+#endif  // TBF_UTIL_UNITS_H_

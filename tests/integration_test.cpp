@@ -1,0 +1,249 @@
+// End-to-end scenario tests: full stack (DCF + AP qdisc + TCP/UDP + wired backbone),
+// asserting the paper's headline phenomena. Durations are kept short (8-12 s of simulated
+// time); tolerances are wider than the bench harnesses'.
+#include <gtest/gtest.h>
+
+#include "tbf/scenario/wlan.h"
+
+namespace tbf::scenario {
+namespace {
+
+ScenarioConfig ShortRun(QdiscKind qdisc) {
+  ScenarioConfig config;
+  config.qdisc = qdisc;
+  config.warmup = Sec(2);
+  config.duration = Sec(10);
+  return config;
+}
+
+Results RunPair(QdiscKind qdisc, phy::WifiRate r1, phy::WifiRate r2, Direction dir) {
+  Wlan wlan(ShortRun(qdisc));
+  wlan.AddStation(1, r1);
+  wlan.AddStation(2, r2);
+  wlan.AddBulkTcp(1, dir);
+  wlan.AddBulkTcp(2, dir);
+  return wlan.Run();
+}
+
+TEST(IntegrationTest, EqualRateTcpSplitsEvenly) {
+  const Results res = RunPair(QdiscKind::kFifo, phy::WifiRate::k11Mbps,
+                              phy::WifiRate::k11Mbps, Direction::kUplink);
+  EXPECT_NEAR(res.GoodputMbps(1) / res.GoodputMbps(2), 1.0, 0.15);
+  // Paper Fig. 2 / Table 2: two 11 Mbps nodes total ~5.1 Mbps.
+  EXPECT_NEAR(res.AggregateMbps(), 5.2, 0.5);
+}
+
+TEST(IntegrationTest, RateAnomalyUplink) {
+  // Paper Fig. 2: with one node at 1 Mbps, both achieve ~0.67 Mbps and the total drops
+  // to ~1.35 Mbps; the slow node occupies ~6.4x the fast node's channel time.
+  const Results res = RunPair(QdiscKind::kFifo, phy::WifiRate::k1Mbps,
+                              phy::WifiRate::k11Mbps, Direction::kUplink);
+  EXPECT_NEAR(res.GoodputMbps(1) / res.GoodputMbps(2), 1.0, 0.25);
+  EXPECT_NEAR(res.AggregateMbps(), 1.37, 0.25);
+  EXPECT_GT(res.AirtimeShare(1) / res.AirtimeShare(2), 4.5);
+}
+
+TEST(IntegrationTest, RateAnomalyDownlink) {
+  const Results res = RunPair(QdiscKind::kFifo, phy::WifiRate::k1Mbps,
+                              phy::WifiRate::k11Mbps, Direction::kDownlink);
+  EXPECT_NEAR(res.GoodputMbps(1) / res.GoodputMbps(2), 1.0, 0.25);
+  EXPECT_LT(res.AggregateMbps(), 1.8);
+}
+
+TEST(IntegrationTest, BaselineThroughputsMatchPaperTable2) {
+  // beta(d, 1500, 2) from the simulator vs the paper's measurements.
+  const struct {
+    phy::WifiRate rate;
+    double paper_mbps;
+  } cases[] = {
+      {phy::WifiRate::k11Mbps, 5.189},
+      {phy::WifiRate::k5_5Mbps, 3.327},
+      {phy::WifiRate::k2Mbps, 1.493},
+      {phy::WifiRate::k1Mbps, 0.806},
+  };
+  for (const auto& c : cases) {
+    const Results res = RunPair(QdiscKind::kFifo, c.rate, c.rate, Direction::kUplink);
+    EXPECT_NEAR(res.AggregateMbps() / c.paper_mbps, 1.0, 0.10)
+        << "at " << phy::RateName(c.rate);
+  }
+}
+
+TEST(IntegrationTest, TbrEqualsNormalForEqualRates) {
+  // Paper Fig. 8: TBR adds no overhead when there is no rate diversity.
+  for (Direction dir : {Direction::kUplink, Direction::kDownlink}) {
+    const Results normal =
+        RunPair(QdiscKind::kFifo, phy::WifiRate::k11Mbps, phy::WifiRate::k11Mbps, dir);
+    const Results tbr =
+        RunPair(QdiscKind::kTbr, phy::WifiRate::k11Mbps, phy::WifiRate::k11Mbps, dir);
+    EXPECT_NEAR(tbr.AggregateMbps() / normal.AggregateMbps(), 1.0, 0.06);
+  }
+}
+
+TEST(IntegrationTest, TbrEqualizesAirtimeDownlink) {
+  const Results res = RunPair(QdiscKind::kTbr, phy::WifiRate::k1Mbps,
+                              phy::WifiRate::k11Mbps, Direction::kDownlink);
+  EXPECT_NEAR(res.AirtimeShare(1), 0.5, 0.08);
+  EXPECT_NEAR(res.AirtimeShare(2), 0.5, 0.08);
+  // And the fast node's throughput recovers toward beta/2.
+  EXPECT_GT(res.GoodputMbps(2), 2.0);
+}
+
+TEST(IntegrationTest, TbrDoublesAggregateDownlink1vs11) {
+  // Paper Fig. 9(a): +103% in the 1vs11 case.
+  const Results normal = RunPair(QdiscKind::kFifo, phy::WifiRate::k1Mbps,
+                                 phy::WifiRate::k11Mbps, Direction::kDownlink);
+  const Results tbr = RunPair(QdiscKind::kTbr, phy::WifiRate::k1Mbps,
+                              phy::WifiRate::k11Mbps, Direction::kDownlink);
+  EXPECT_GT(tbr.AggregateMbps() / normal.AggregateMbps(), 1.7);
+}
+
+TEST(IntegrationTest, TbrImprovesAggregateUplink1vs11) {
+  // Paper Fig. 9(b): large uplink gains via ack regulation, no client modification.
+  const Results normal = RunPair(QdiscKind::kFifo, phy::WifiRate::k1Mbps,
+                                 phy::WifiRate::k11Mbps, Direction::kUplink);
+  const Results tbr = RunPair(QdiscKind::kTbr, phy::WifiRate::k1Mbps,
+                              phy::WifiRate::k11Mbps, Direction::kUplink);
+  EXPECT_GT(tbr.AggregateMbps() / normal.AggregateMbps(), 1.5);
+  EXPECT_LT(tbr.AirtimeShare(1), 0.70);  // vs ~0.86 without TBR.
+}
+
+TEST(IntegrationTest, TbrBaselineProperty) {
+  // The 1 Mbps node under TBR in a 1vs11 cell performs like in a 1vs1 cell.
+  const Results mixed = RunPair(QdiscKind::kTbr, phy::WifiRate::k1Mbps,
+                                phy::WifiRate::k11Mbps, Direction::kDownlink);
+  const Results all_slow = RunPair(QdiscKind::kFifo, phy::WifiRate::k1Mbps,
+                                   phy::WifiRate::k1Mbps, Direction::kDownlink);
+  EXPECT_NEAR(mixed.GoodputMbps(1) / all_slow.GoodputMbps(1), 1.0, 0.20);
+}
+
+TEST(IntegrationTest, Table4DemandAdaptation) {
+  // Paper Table 4: an app-limited node keeps its demand and the greedy node takes the
+  // rest, with or without TBR.
+  for (QdiscKind qdisc : {QdiscKind::kFifo, QdiscKind::kTbr}) {
+    ScenarioConfig config = ShortRun(qdisc);
+    config.warmup = Sec(6);  // Give ADJUSTRATEEVENT time to converge.
+    Wlan wlan(config);
+    wlan.AddStation(1, phy::WifiRate::k11Mbps);
+    wlan.AddStation(2, phy::WifiRate::k11Mbps);
+    wlan.AddBulkTcp(1, Direction::kUplink);
+    auto& f2 = wlan.AddBulkTcp(2, Direction::kUplink);
+    f2.app_limit_bps = Mbps(2.1);
+    const Results res = wlan.Run();
+    EXPECT_NEAR(res.GoodputMbps(2), 2.05, 0.25) << "qdisc " << static_cast<int>(qdisc);
+    EXPECT_GT(res.GoodputMbps(1), 2.6) << "qdisc " << static_cast<int>(qdisc);
+  }
+}
+
+TEST(IntegrationTest, ThreeNodeUdpUplinkEqualRates) {
+  // Paper Fig. 4: equal throughputs for equal-rate nodes; uplink beats downlink totals.
+  ScenarioConfig config = ShortRun(QdiscKind::kFifo);
+  Wlan wlan(config);
+  for (NodeId id = 1; id <= 3; ++id) {
+    wlan.AddStation(id, phy::WifiRate::k11Mbps);
+    wlan.AddSaturatingUdp(id, Direction::kUplink);
+  }
+  const Results res = wlan.Run();
+  for (NodeId id = 1; id <= 3; ++id) {
+    EXPECT_NEAR(res.GoodputMbps(id) * 3.0 / res.AggregateMbps(), 1.0, 0.15);
+  }
+  EXPECT_GT(res.AggregateMbps(), 5.5);
+}
+
+TEST(IntegrationTest, UdpDownlinkBelowUplink) {
+  auto run = [](Direction dir) {
+    ScenarioConfig config = ShortRun(QdiscKind::kRoundRobin);
+    Wlan wlan(config);
+    for (NodeId id = 1; id <= 3; ++id) {
+      wlan.AddStation(id, phy::WifiRate::k11Mbps);
+      wlan.AddSaturatingUdp(id, dir);
+    }
+    return wlan.Run().AggregateMbps();
+  };
+  // One sending node (the AP) cannot saturate the channel as well as three (post-tx
+  // backoff overhead is amortized across senders) - paper Fig. 4 discussion.
+  EXPECT_LT(run(Direction::kDownlink), run(Direction::kUplink));
+}
+
+TEST(IntegrationTest, TcpBelowUdp) {
+  auto run = [](Transport transport) {
+    ScenarioConfig config = ShortRun(QdiscKind::kRoundRobin);
+    Wlan wlan(config);
+    for (NodeId id = 1; id <= 2; ++id) {
+      wlan.AddStation(id, phy::WifiRate::k11Mbps);
+      FlowSpec fs;
+      fs.client = id;
+      fs.direction = Direction::kDownlink;
+      fs.transport = transport;
+      fs.udp_rate = Mbps(9);
+      wlan.AddFlow(fs);
+    }
+    return wlan.Run().AggregateMbps();
+  };
+  EXPECT_LT(run(Transport::kTcp), run(Transport::kUdp));
+}
+
+TEST(IntegrationTest, LossyLinkReducesThroughputAndTbrStillFair) {
+  ScenarioConfig config = ShortRun(QdiscKind::kTbr);
+  Wlan wlan(config);
+  wlan.AddStation(1, phy::WifiRate::k11Mbps, /*per=*/0.10);
+  wlan.AddStation(2, phy::WifiRate::k11Mbps, /*per=*/0.0);
+  wlan.AddBulkTcp(1, Direction::kDownlink);
+  wlan.AddBulkTcp(2, Direction::kDownlink);
+  const Results res = wlan.Run();
+  EXPECT_GT(res.GoodputMbps(2), res.GoodputMbps(1));
+  EXPECT_GT(res.AggregateMbps(), 3.5);
+}
+
+TEST(IntegrationTest, TaskFlowsCompleteAndReportTimes) {
+  ScenarioConfig config = ShortRun(QdiscKind::kFifo);
+  config.duration = Sec(30);
+  Wlan wlan(config);
+  wlan.AddStation(1, phy::WifiRate::k11Mbps);
+  wlan.AddStation(2, phy::WifiRate::k11Mbps);
+  auto& f1 = wlan.AddBulkTcp(1, Direction::kUplink);
+  f1.task_bytes = 2'000'000;
+  auto& f2 = wlan.AddBulkTcp(2, Direction::kUplink);
+  f2.task_bytes = 2'000'000;
+  const Results res = wlan.Run();
+  for (const FlowResult& fr : res.flows) {
+    EXPECT_GT(fr.completion_time, 0) << "flow " << fr.flow_id;
+    EXPECT_LT(fr.completion_time, Sec(25));
+  }
+}
+
+TEST(IntegrationTest, WeightedTbrSkewsAirtime) {
+  // QoS extension (paper 4.5): unequal channel-time shares via bucket weights.
+  ScenarioConfig config = ShortRun(QdiscKind::kTbr);
+  config.tbr.enable_rate_adjust = false;  // Hold the 3:1 split fixed.
+  Wlan wlan(config);
+  wlan.AddStation(1, phy::WifiRate::k11Mbps);
+  wlan.AddStation(2, phy::WifiRate::k11Mbps);
+  wlan.AddBulkTcp(1, Direction::kDownlink);
+  wlan.AddBulkTcp(2, Direction::kDownlink);
+  wlan.BuildNow();
+  ASSERT_NE(wlan.tbr(), nullptr);
+  wlan.tbr()->SetWeight(1, 3.0);
+  wlan.tbr()->SetWeight(2, 1.0);
+  const Results res = wlan.Run();
+  EXPECT_NEAR(res.AirtimeShare(1), 0.75, 0.08);
+  EXPECT_NEAR(res.GoodputMbps(1) / res.GoodputMbps(2), 3.0, 0.8);
+}
+
+TEST(IntegrationTest, DeterministicAcrossRuns) {
+  auto run = [] {
+    Wlan wlan(ShortRun(QdiscKind::kTbr));
+    wlan.AddStation(1, phy::WifiRate::k1Mbps);
+    wlan.AddStation(2, phy::WifiRate::k11Mbps);
+    wlan.AddBulkTcp(1, Direction::kDownlink);
+    wlan.AddBulkTcp(2, Direction::kDownlink);
+    return wlan.Run();
+  };
+  const Results a = run();
+  const Results b = run();
+  EXPECT_EQ(a.goodput_bps.at(1), b.goodput_bps.at(1));
+  EXPECT_EQ(a.goodput_bps.at(2), b.goodput_bps.at(2));
+  EXPECT_EQ(a.mac_collisions, b.mac_collisions);
+}
+
+}  // namespace
+}  // namespace tbf::scenario

@@ -1,0 +1,290 @@
+#include <memory>
+#include <optional>
+
+#include <gtest/gtest.h>
+
+#include "tbf/mac/medium.h"
+#include "tbf/net/packet.h"
+#include "tbf/phy/channel.h"
+#include "tbf/sim/simulator.h"
+
+namespace tbf::mac {
+namespace {
+
+// A station that keeps the channel saturated with fixed-size frames to a single peer
+// (or sends a bounded number of frames when `frame_budget` >= 0).
+class TestStation : public FrameProvider, public FrameSink {
+ public:
+  TestStation(Medium* medium, NodeId id, NodeId peer, phy::WifiRate rate, int packet_bytes,
+              int64_t frame_budget = -1)
+      : id_(id),
+        peer_(peer),
+        rate_(rate),
+        packet_bytes_(packet_bytes),
+        frame_budget_(frame_budget),
+        entity_(medium, id, this, this) {}
+
+  void Start() { entity_.NotifyBacklog(); }
+
+  std::optional<MacFrame> NextFrame() override {
+    if (frame_budget_ == 0) {
+      return std::nullopt;
+    }
+    if (frame_budget_ > 0) {
+      --frame_budget_;
+    }
+    auto p = net::MakeUdpPacket(id_, peer_, id_ == kApId ? peer_ : id_, /*flow_id=*/0,
+                                packet_bytes_, seq_++, 0);
+    return MakeDataFrame(id_, peer_, std::move(p), rate_);
+  }
+
+  void OnTxComplete(const MacFrame&, bool success, int attempts, TimeNs airtime) override {
+    ++completions_;
+    if (success) {
+      ++successes_;
+    } else {
+      ++drops_;
+    }
+    attempts_total_ += attempts;
+    airtime_total_ += airtime;
+  }
+
+  void OnFrameReceived(const MacFrame& frame) override {
+    ++received_;
+    received_bytes_ += frame.packet->size_bytes;
+  }
+
+  DcfEntity& entity() { return entity_; }
+  int64_t successes() const { return successes_; }
+  int64_t drops() const { return drops_; }
+  int64_t completions() const { return completions_; }
+  int64_t attempts_total() const { return attempts_total_; }
+  int64_t received() const { return received_; }
+  int64_t received_bytes() const { return received_bytes_; }
+  TimeNs airtime_total() const { return airtime_total_; }
+
+ private:
+  NodeId id_;
+  NodeId peer_;
+  phy::WifiRate rate_;
+  int packet_bytes_;
+  int64_t frame_budget_;
+  int64_t seq_ = 0;
+  int64_t completions_ = 0;
+  int64_t successes_ = 0;
+  int64_t drops_ = 0;
+  int64_t attempts_total_ = 0;
+  int64_t received_ = 0;
+  int64_t received_bytes_ = 0;
+  TimeNs airtime_total_ = 0;
+  DcfEntity entity_;
+};
+
+struct World {
+  explicit World(uint64_t seed = 1, const phy::LossModel* loss = nullptr)
+      : rng(seed), medium(&sim, phy::MixedModeTimings(), loss ? loss : &perfect, &rng) {}
+
+  sim::Simulator sim;
+  sim::Rng rng;
+  phy::PerfectChannel perfect;
+  Medium medium;
+};
+
+TEST(DcfTest, SingleSaturatedSenderThroughput) {
+  World w;
+  TestStation rx(&w.medium, 2, 1, phy::WifiRate::k11Mbps, 1500, 0);
+  TestStation tx(&w.medium, 1, 2, phy::WifiRate::k11Mbps, 1500);
+  tx.Start();
+  w.sim.RunUntil(Sec(10));
+
+  // Expected per-packet cycle: DIFS + mean backoff (15.5 slots) + data + SIFS + ACK
+  // = 50 + 310 + (192 + 1536*8/11) + 10 + 248 us ~= 1927 us -> ~5190 frames in 10 s.
+  EXPECT_GT(tx.successes(), 4800);
+  EXPECT_LT(tx.successes(), 5600);
+  EXPECT_EQ(tx.drops(), 0);
+  EXPECT_EQ(rx.received(), tx.successes());
+}
+
+TEST(DcfTest, PostTransmitBackoffLimitsSingleSender) {
+  // A lone sender cannot fully occupy the channel: utilization stays well below 1
+  // because of DIFS + post-backoff between frames (paper Fig. 4 discussion).
+  World w;
+  TestStation rx(&w.medium, 2, 1, phy::WifiRate::k11Mbps, 1500, 0);
+  TestStation tx(&w.medium, 1, 2, phy::WifiRate::k11Mbps, 1500);
+  tx.Start();
+  w.sim.RunUntil(Sec(5));
+  const double utilization = static_cast<double>(w.medium.busy_time()) / Sec(5);
+  EXPECT_GT(utilization, 0.70);
+  EXPECT_LT(utilization, 0.90);
+}
+
+TEST(DcfTest, TwoEqualRateSendersSplitOpportunitiesEvenly) {
+  World w;
+  TestStation sink(&w.medium, 3, 1, phy::WifiRate::k11Mbps, 1500, 0);
+  TestStation a(&w.medium, 1, 3, phy::WifiRate::k11Mbps, 1500);
+  TestStation b(&w.medium, 2, 3, phy::WifiRate::k11Mbps, 1500);
+  a.Start();
+  b.Start();
+  w.sim.RunUntil(Sec(10));
+
+  const double ratio = static_cast<double>(a.successes()) / static_cast<double>(b.successes());
+  EXPECT_NEAR(ratio, 1.0, 0.08);
+  EXPECT_GT(w.medium.collisions(), 0);
+}
+
+TEST(DcfTest, RateDiversityAnomalyEqualFramesSkewedAirtime) {
+  // The paper's root-cause observation: DCF hands both stations the same number of
+  // transmission opportunities, so the 1 Mbps station consumes several times the airtime
+  // of the 11 Mbps station.
+  World w;
+  TestStation sink(&w.medium, 3, 1, phy::WifiRate::k11Mbps, 1500, 0);
+  TestStation fast(&w.medium, 1, 3, phy::WifiRate::k11Mbps, 1500);
+  TestStation slow(&w.medium, 2, 3, phy::WifiRate::k1Mbps, 1500);
+  fast.Start();
+  slow.Start();
+  w.sim.RunUntil(Sec(20));
+
+  const double frame_ratio =
+      static_cast<double>(fast.successes()) / static_cast<double>(slow.successes());
+  EXPECT_NEAR(frame_ratio, 1.0, 0.10);
+
+  const double slow_share = w.medium.airtime_meter().Share(2);
+  const double fast_share = w.medium.airtime_meter().Share(1);
+  EXPECT_GT(slow_share, 0.80);
+  EXPECT_GT(slow_share / fast_share, 5.0);
+}
+
+TEST(DcfTest, LossCausesRetransmissions) {
+  phy::FixedPerLink loss;
+  loss.SetLinkPer(1, 2, 0.3);
+  World w(1, &loss);
+  TestStation rx(&w.medium, 2, 1, phy::WifiRate::k11Mbps, 1500, 0);
+  TestStation tx(&w.medium, 1, 2, phy::WifiRate::k11Mbps, 1500);
+  tx.Start();
+  w.sim.RunUntil(Sec(2));
+
+  EXPECT_GT(tx.entity().retransmissions(), 0);
+  EXPECT_GT(tx.successes(), 0);
+  // Mean attempts per delivered frame should approach 1 / (1 - per) ~= 1.43.
+  const double mean_attempts =
+      static_cast<double>(tx.attempts_total()) / static_cast<double>(tx.completions());
+  EXPECT_NEAR(mean_attempts, 1.0 / 0.7, 0.12);
+}
+
+TEST(DcfTest, RetryLimitDropsFrames) {
+  phy::FixedPerLink loss;
+  loss.SetLinkPer(1, 2, 1.0);  // Nothing gets through.
+  World w(1, &loss);
+  TestStation rx(&w.medium, 2, 1, phy::WifiRate::k11Mbps, 1500, 0);
+  TestStation tx(&w.medium, 1, 2, phy::WifiRate::k11Mbps, 1500, 5);
+  tx.Start();
+  w.sim.RunUntil(Sec(5));
+
+  EXPECT_EQ(tx.successes(), 0);
+  EXPECT_EQ(tx.drops(), 5);
+  EXPECT_EQ(rx.received(), 0);
+  // retry_limit = 7 retries -> 8 attempts per dropped frame.
+  EXPECT_EQ(tx.attempts_total(), 5 * 8);
+}
+
+TEST(DcfTest, FrameToUnknownDestinationIsDropped) {
+  World w;
+  TestStation tx(&w.medium, 1, 42, phy::WifiRate::k11Mbps, 1500, 1);
+  tx.Start();
+  w.sim.RunUntil(Sec(1));
+  EXPECT_EQ(tx.successes(), 0);
+  EXPECT_EQ(tx.drops(), 1);
+}
+
+TEST(DcfTest, BoundedBudgetStopsCleanly) {
+  World w;
+  TestStation rx(&w.medium, 2, 1, phy::WifiRate::k11Mbps, 1500, 0);
+  TestStation tx(&w.medium, 1, 2, phy::WifiRate::k11Mbps, 1500, 100);
+  tx.Start();
+  w.sim.RunUntil(Sec(5));
+  EXPECT_EQ(tx.successes(), 100);
+  EXPECT_EQ(rx.received(), 100);
+  // Channel must go idle afterwards; no runaway events.
+  EXPECT_LT(w.medium.busy_time(), Sec(1));
+}
+
+TEST(DcfTest, DeterministicForSeed) {
+  auto run = [](uint64_t seed) {
+    World w(seed);
+    TestStation sink(&w.medium, 3, 1, phy::WifiRate::k11Mbps, 1500, 0);
+    TestStation a(&w.medium, 1, 3, phy::WifiRate::k11Mbps, 1500);
+    TestStation b(&w.medium, 2, 3, phy::WifiRate::k5_5Mbps, 1500);
+    a.Start();
+    b.Start();
+    w.sim.RunUntil(Sec(3));
+    return std::pair<int64_t, int64_t>(a.successes(), b.successes());
+  };
+  EXPECT_EQ(run(7), run(7));
+  EXPECT_NE(run(7), run(8));
+}
+
+TEST(DcfTest, AirtimeMeterAccountsMostOfWallClock) {
+  // With two saturated senders, charged airtime (busy + contention idle) should cover
+  // nearly the whole experiment duration.
+  World w;
+  TestStation sink(&w.medium, 3, 1, phy::WifiRate::k11Mbps, 1500, 0);
+  TestStation a(&w.medium, 1, 3, phy::WifiRate::k11Mbps, 1500);
+  TestStation b(&w.medium, 2, 3, phy::WifiRate::k1Mbps, 1500);
+  a.Start();
+  b.Start();
+  w.sim.RunUntil(Sec(10));
+  const double covered = static_cast<double>(w.medium.airtime_meter().TotalCharged()) / Sec(10);
+  EXPECT_GT(covered, 0.90);
+  EXPECT_LT(covered, 1.02);
+}
+
+TEST(DcfTest, ObserverSeesExchanges) {
+  class Counter : public MediumObserver {
+   public:
+    void OnExchange(const ExchangeRecord& record) override {
+      ++count_;
+      if (record.success) {
+        ++successes_;
+      }
+      last_ = record;
+    }
+    int count_ = 0;
+    int successes_ = 0;
+    ExchangeRecord last_;
+  };
+
+  World w;
+  Counter counter;
+  w.medium.AddObserver(&counter);
+  TestStation rx(&w.medium, 2, 1, phy::WifiRate::k11Mbps, 1500, 0);
+  TestStation tx(&w.medium, 1, 2, phy::WifiRate::k11Mbps, 1500, 10);
+  tx.Start();
+  w.sim.RunUntil(Sec(1));
+
+  EXPECT_EQ(counter.count_, 10);
+  EXPECT_EQ(counter.successes_, 10);
+  EXPECT_EQ(counter.last_.tx, 1);
+  EXPECT_EQ(counter.last_.rx, 2);
+  EXPECT_EQ(counter.last_.owner, 1);
+  EXPECT_EQ(counter.last_.rate, phy::WifiRate::k11Mbps);
+  EXPECT_GT(counter.last_.airtime, 0);
+}
+
+TEST(DcfTest, CollisionRateReasonableForTwoSaturatedStations) {
+  // Bianchi-style expectation: two stations with CWmin 31 collide on roughly
+  // 1/32..1/16 of rounds (conditional collision probability ~ 1/(CWmin+1) per tx).
+  World w;
+  TestStation sink(&w.medium, 3, 1, phy::WifiRate::k11Mbps, 1500, 0);
+  TestStation a(&w.medium, 1, 3, phy::WifiRate::k11Mbps, 1500);
+  TestStation b(&w.medium, 2, 3, phy::WifiRate::k11Mbps, 1500);
+  a.Start();
+  b.Start();
+  w.sim.RunUntil(Sec(10));
+  const double collision_frac =
+      static_cast<double>(w.medium.collisions()) / static_cast<double>(w.medium.exchanges());
+  EXPECT_GT(collision_frac, 0.01);
+  EXPECT_LT(collision_frac, 0.10);
+}
+
+}  // namespace
+}  // namespace tbf::mac

@@ -1,0 +1,208 @@
+// Tests of the analytic framework: exact reproduction of the paper's Table 3 numbers from
+// its Table 2 inputs, the baseline property, and the task-model efficiency claims.
+#include <gtest/gtest.h>
+
+#include "tbf/model/baseline.h"
+#include "tbf/model/fairness_model.h"
+#include "tbf/model/task_model.h"
+
+namespace tbf::model {
+namespace {
+
+std::vector<NodeModel> Table3Nodes() {
+  const auto& betas = PaperTable2Baselines();
+  return {
+      {betas.at(phy::WifiRate::k1Mbps), 1500.0, 1.0},
+      {betas.at(phy::WifiRate::k2Mbps), 1500.0, 1.0},
+      {betas.at(phy::WifiRate::k11Mbps), 1500.0, 1.0},
+      {betas.at(phy::WifiRate::k11Mbps), 1500.0, 1.0},
+  };
+}
+
+TEST(FairnessModelTest, ReproducesTable3ThroughputFairRow) {
+  // Paper Table 3, RF row: every node gets 0.436 Mbps; total 1.742 Mbps.
+  const Allocation rf = ThroughputFairAllocation(Table3Nodes());
+  for (double r : rf.throughput_bps) {
+    EXPECT_NEAR(r / 1e6, 0.436, 0.001);
+  }
+  EXPECT_NEAR(rf.total_bps / 1e6, 1.742, 0.004);
+}
+
+TEST(FairnessModelTest, ReproducesTable3TimeFairRow) {
+  // Paper Table 3, TF row: 0.202, 0.373, 1.30, 1.30; total 3.175 Mbps.
+  const Allocation tf = TimeFairAllocation(Table3Nodes());
+  EXPECT_NEAR(tf.throughput_bps[0] / 1e6, 0.202, 0.001);
+  EXPECT_NEAR(tf.throughput_bps[1] / 1e6, 0.373, 0.001);
+  EXPECT_NEAR(tf.throughput_bps[2] / 1e6, 1.30, 0.005);
+  EXPECT_NEAR(tf.throughput_bps[3] / 1e6, 1.30, 0.005);
+  // The paper's printed total (3.175) sums the rounded per-node entries; exact
+  // arithmetic on the Table 2 betas gives 3.169.
+  EXPECT_NEAR(tf.total_bps / 1e6, 3.175, 0.01);
+}
+
+TEST(FairnessModelTest, Table3GainIs82Percent) {
+  EXPECT_NEAR(TimeFairGain(Table3Nodes()), 1.82, 0.01);
+}
+
+TEST(FairnessModelTest, EqualRatesMakeNotionsCoincide) {
+  std::vector<NodeModel> nodes(3, NodeModel{5.189e6, 1500.0, 1.0});
+  const Allocation rf = ThroughputFairAllocation(nodes);
+  const Allocation tf = TimeFairAllocation(nodes);
+  for (size_t i = 0; i < nodes.size(); ++i) {
+    EXPECT_NEAR(rf.throughput_bps[i], tf.throughput_bps[i], 1.0);
+    EXPECT_NEAR(rf.channel_time[i], tf.channel_time[i], 1e-9);
+  }
+  EXPECT_NEAR(rf.total_bps, tf.total_bps, 1.0);
+}
+
+TEST(FairnessModelTest, ChannelTimesSumToOne) {
+  const Allocation rf = ThroughputFairAllocation(Table3Nodes());
+  const Allocation tf = TimeFairAllocation(Table3Nodes());
+  double rf_sum = 0.0;
+  double tf_sum = 0.0;
+  for (size_t i = 0; i < 4; ++i) {
+    rf_sum += rf.channel_time[i];
+    tf_sum += tf.channel_time[i];
+  }
+  EXPECT_NEAR(rf_sum, 1.0, 1e-12);
+  EXPECT_NEAR(tf_sum, 1.0, 1e-12);
+}
+
+TEST(FairnessModelTest, BaselineProperty) {
+  // Paper Section 1: under TF, a node's throughput equals what it would get if all
+  // competitors ran at its rate. With n nodes at baseline beta, each gets beta/n.
+  const auto& betas = PaperTable2Baselines();
+  const double beta1 = betas.at(phy::WifiRate::k1Mbps);
+  // Mixed cell: 1 Mbps node among three 11 Mbps nodes.
+  const Allocation mixed = TimeFairAllocation(Table3Nodes());
+  EXPECT_NEAR(mixed.throughput_bps[0], beta1 / 4.0, 1.0);
+  // All-1Mbps cell of the same size.
+  std::vector<NodeModel> all_slow(4, NodeModel{beta1, 1500.0, 1.0});
+  const Allocation slow = TimeFairAllocation(all_slow);
+  EXPECT_NEAR(mixed.throughput_bps[0], slow.throughput_bps[0], 1.0);
+}
+
+TEST(FairnessModelTest, RfThroughputDominatedBySlowestNode) {
+  // Fig. 2's observation: the pair total sits much closer to the all-slow cell than to
+  // the naive average of the two single-rate cells.
+  const auto& betas = PaperTable2Baselines();
+  std::vector<NodeModel> pair = {{betas.at(phy::WifiRate::k11Mbps), 1500.0, 1.0},
+                                 {betas.at(phy::WifiRate::k1Mbps), 1500.0, 1.0}};
+  const double total = ThroughputFairAllocation(pair).total_bps;
+  const double naive_avg =
+      (betas.at(phy::WifiRate::k11Mbps) + betas.at(phy::WifiRate::k1Mbps)) / 2.0;
+  EXPECT_LT(total, 0.5 * naive_avg);  // "Less than half of what one might expect."
+  EXPECT_NEAR(total / 1e6, 1.395, 0.01);  // Eq. 6 with Table 2 betas.
+}
+
+TEST(FairnessModelTest, PacketSizeDiversityAffectsAllocations) {
+  // Eq. 8-10: equal rates but different packet sizes skew both T(i) and R(i).
+  std::vector<NodeModel> nodes = {{5.0e6, 1500.0, 1.0}, {5.0e6, 300.0, 1.0}};
+  const Allocation rf = ThroughputFairAllocation(nodes);
+  EXPECT_GT(rf.channel_time[0], rf.channel_time[1]);
+  EXPECT_GT(rf.throughput_bps[0], rf.throughput_bps[1]);
+}
+
+TEST(FairnessModelTest, WeightedTimeFairness) {
+  std::vector<NodeModel> nodes = {{10e6, 1500.0, 3.0}, {10e6, 1500.0, 1.0}};
+  const Allocation tf = TimeFairAllocation(nodes);
+  EXPECT_NEAR(tf.channel_time[0], 0.75, 1e-12);
+  EXPECT_NEAR(tf.throughput_bps[0] / tf.throughput_bps[1], 3.0, 1e-9);
+}
+
+TEST(AnalyticBaselineTest, WithinTenPercentOfPaperTable2) {
+  const auto& paper = PaperTable2Baselines();
+  for (const auto& [rate, beta] : paper) {
+    const double model = AnalyticTcpBaseline(rate);
+    EXPECT_NEAR(model / beta, 1.0, 0.10)
+        << "rate " << phy::RateName(rate) << ": model " << model << " vs paper " << beta;
+  }
+}
+
+TEST(AnalyticBaselineTest, MonotoneInRate) {
+  double last = 0.0;
+  for (phy::WifiRate r : phy::DsssRates()) {
+    const double beta = AnalyticTcpBaseline(r);
+    EXPECT_GT(beta, last);
+    last = beta;
+  }
+}
+
+TEST(AnalyticBaselineTest, UdpExceedsTcp) {
+  AnalyticBaselineConfig udp;
+  udp.traffic = TrafficKind::kUdp;
+  EXPECT_GT(AnalyticBaseline(phy::WifiRate::k11Mbps, 2, udp),
+            AnalyticTcpBaseline(phy::WifiRate::k11Mbps));
+}
+
+TEST(AnalyticBaselineTest, LargerPacketsMoreEfficient) {
+  AnalyticBaselineConfig big;
+  AnalyticBaselineConfig small;
+  small.ip_packet_bytes = 500;
+  EXPECT_GT(AnalyticBaseline(phy::WifiRate::k11Mbps, 2, big),
+            AnalyticBaseline(phy::WifiRate::k11Mbps, 2, small));
+}
+
+TEST(TaskModelTest, EqualTasksFinishTogetherUnderRf) {
+  const auto& betas = PaperTable2Baselines();
+  std::vector<Task> tasks = {{betas.at(phy::WifiRate::k1Mbps), 1e6, 1.0},
+                             {betas.at(phy::WifiRate::k11Mbps), 1e6, 1.0}};
+  const TaskOutcome rf = RunTaskModel(tasks, FairnessNotion::kThroughputFair);
+  EXPECT_NEAR(rf.completion_sec[0], rf.completion_sec[1], 1e-6);
+  EXPECT_NEAR(rf.avg_task_time_sec, rf.final_task_time_sec, 1e-6);
+}
+
+TEST(TaskModelTest, FinalTaskTimeInvariantAcrossNotions) {
+  // Work conservation (paper Table 1): the schedule notion cannot change the last
+  // completion when total channel-time demand is fixed.
+  const auto& betas = PaperTable2Baselines();
+  std::vector<Task> tasks = {{betas.at(phy::WifiRate::k1Mbps), 1e6, 1.0},
+                             {betas.at(phy::WifiRate::k11Mbps), 1e6, 1.0}};
+  const TaskOutcome rf = RunTaskModel(tasks, FairnessNotion::kThroughputFair);
+  const TaskOutcome tf = RunTaskModel(tasks, FairnessNotion::kTimeFair);
+  EXPECT_NEAR(rf.final_task_time_sec, tf.final_task_time_sec, 1e-6);
+}
+
+TEST(TaskModelTest, TimeFairImprovesAvgTaskTime) {
+  const auto& betas = PaperTable2Baselines();
+  std::vector<Task> tasks = {{betas.at(phy::WifiRate::k1Mbps), 1e6, 1.0},
+                             {betas.at(phy::WifiRate::k11Mbps), 1e6, 1.0}};
+  const TaskOutcome rf = RunTaskModel(tasks, FairnessNotion::kThroughputFair);
+  const TaskOutcome tf = RunTaskModel(tasks, FairnessNotion::kTimeFair);
+  EXPECT_LT(tf.avg_task_time_sec, rf.avg_task_time_sec);
+}
+
+TEST(TaskModelTest, SlowNodeCompletionUnchangedByTf) {
+  // Baseline property in the task model: the 1 Mbps node's completion time under TF in
+  // a mixed cell equals its completion in an all-slow cell.
+  const auto& betas = PaperTable2Baselines();
+  const double beta1 = betas.at(phy::WifiRate::k1Mbps);
+  std::vector<Task> mixed = {{beta1, 1e6, 1.0},
+                             {betas.at(phy::WifiRate::k11Mbps), 1e6, 1.0}};
+  std::vector<Task> all_slow = {{beta1, 1e6, 1.0}, {beta1, 1e6, 1.0}};
+  const TaskOutcome tf_mixed = RunTaskModel(mixed, FairnessNotion::kTimeFair);
+  const TaskOutcome tf_slow = RunTaskModel(all_slow, FairnessNotion::kTimeFair);
+  // While both tasks are active the slow node progresses at beta1/2 in both cells; its
+  // mixed-cell completion can only be earlier (it inherits capacity once the fast node
+  // finishes), never later.
+  EXPECT_LE(tf_mixed.completion_sec[0], tf_slow.completion_sec[0] + 1e-9);
+  const double solo_lower_bound = 1e6 * 8.0 / beta1;
+  EXPECT_GE(tf_mixed.completion_sec[0], solo_lower_bound);
+}
+
+TEST(TaskModelTest, SingleTaskUsesFullChannel) {
+  std::vector<Task> tasks = {{8e6, 1e6, 1.0}};
+  for (auto notion : {FairnessNotion::kThroughputFair, FairnessNotion::kTimeFair}) {
+    const TaskOutcome out = RunTaskModel(tasks, notion);
+    EXPECT_NEAR(out.final_task_time_sec, 1.0, 1e-9);
+  }
+}
+
+TEST(TaskModelTest, EmptyTaskListIsHarmless) {
+  const TaskOutcome out = RunTaskModel({}, FairnessNotion::kTimeFair);
+  EXPECT_EQ(out.completion_sec.size(), 0u);
+  EXPECT_DOUBLE_EQ(out.final_task_time_sec, 0.0);
+}
+
+}  // namespace
+}  // namespace tbf::model

@@ -1,0 +1,216 @@
+// Property-style parameterized sweeps over the system's invariants:
+//  * DCF grants equal transmission opportunities for any rate pair (the anomaly's root);
+//  * TBR's baseline property holds across the whole DSSS rate ladder;
+//  * the analytic model is self-consistent for random node populations;
+//  * the task model's work-conservation invariant holds for random task mixes.
+#include <gtest/gtest.h>
+
+#include "tbf/model/fairness_model.h"
+#include "tbf/model/task_model.h"
+#include "tbf/scenario/wlan.h"
+#include "tbf/sim/random.h"
+#include "tbf/stats/meters.h"
+
+namespace tbf {
+namespace {
+
+using phy::WifiRate;
+using scenario::Direction;
+using scenario::QdiscKind;
+using scenario::Results;
+using scenario::ScenarioConfig;
+using scenario::Wlan;
+
+ScenarioConfig QuickConfig(QdiscKind qdisc) {
+  ScenarioConfig config;
+  config.qdisc = qdisc;
+  config.warmup = Sec(2);
+  config.duration = Sec(8);
+  return config;
+}
+
+// ---- DCF throughput-fairness across all rate pairs -----------------------------------
+
+class RatePairSweep : public ::testing::TestWithParam<std::pair<WifiRate, WifiRate>> {};
+
+TEST_P(RatePairSweep, DcfEqualThroughputAnyRateMix) {
+  const auto [r1, r2] = GetParam();
+  Wlan wlan(QuickConfig(QdiscKind::kFifo));
+  wlan.AddStation(1, r1);
+  wlan.AddStation(2, r2);
+  wlan.AddBulkTcp(1, Direction::kUplink);
+  wlan.AddBulkTcp(2, Direction::kUplink);
+  const Results res = wlan.Run();
+  // Equal transmission opportunities -> equal per-node TCP throughput (Eq. 6),
+  // independent of the rate combination.
+  EXPECT_NEAR(res.GoodputMbps(1) / res.GoodputMbps(2), 1.0, 0.25)
+      << phy::RateName(r1) << " vs " << phy::RateName(r2);
+}
+
+TEST_P(RatePairSweep, TbrEqualAirtimeAnyRateMix) {
+  const auto [r1, r2] = GetParam();
+  Wlan wlan(QuickConfig(QdiscKind::kTbr));
+  wlan.AddStation(1, r1);
+  wlan.AddStation(2, r2);
+  wlan.AddBulkTcp(1, Direction::kDownlink);
+  wlan.AddBulkTcp(2, Direction::kDownlink);
+  const Results res = wlan.Run();
+  EXPECT_NEAR(res.AirtimeShare(1), 0.5, 0.09)
+      << phy::RateName(r1) << " vs " << phy::RateName(r2);
+  // Aggregate under TBR is never (meaningfully) below DCF's throughput-fair outcome.
+  EXPECT_GT(res.utilization, 0.75);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllDsssPairs, RatePairSweep,
+    ::testing::Values(std::pair{WifiRate::k1Mbps, WifiRate::k11Mbps},
+                      std::pair{WifiRate::k2Mbps, WifiRate::k11Mbps},
+                      std::pair{WifiRate::k5_5Mbps, WifiRate::k11Mbps},
+                      std::pair{WifiRate::k1Mbps, WifiRate::k5_5Mbps},
+                      std::pair{WifiRate::k2Mbps, WifiRate::k5_5Mbps},
+                      std::pair{WifiRate::k1Mbps, WifiRate::k2Mbps}),
+    [](const auto& info) {
+      std::string name = std::string(phy::RateName(info.param.first)) + "_vs_" +
+                         std::string(phy::RateName(info.param.second));
+      for (char& c : name) {
+        if (c == '.') {
+          c = '_';
+        }
+      }
+      return name;
+    });
+
+// ---- Baseline property across the rate ladder -----------------------------------------
+
+class BaselinePropertySweep : public ::testing::TestWithParam<WifiRate> {};
+
+TEST_P(BaselinePropertySweep, TbrNodeUnaffectedByFastPartner) {
+  // The paper's baseline property: under time-based fairness, a node at rate d competing
+  // with an 11 Mbps node performs as if the partner also ran at d.
+  const WifiRate rate = GetParam();
+  Wlan mixed(QuickConfig(QdiscKind::kTbr));
+  mixed.AddStation(1, rate);
+  mixed.AddStation(2, WifiRate::k11Mbps);
+  mixed.AddBulkTcp(1, Direction::kDownlink);
+  mixed.AddBulkTcp(2, Direction::kDownlink);
+  const Results res_mixed = mixed.Run();
+
+  Wlan uniform(QuickConfig(QdiscKind::kFifo));
+  uniform.AddStation(1, rate);
+  uniform.AddStation(2, rate);
+  uniform.AddBulkTcp(1, Direction::kDownlink);
+  uniform.AddBulkTcp(2, Direction::kDownlink);
+  const Results res_uniform = uniform.Run();
+
+  EXPECT_NEAR(res_mixed.GoodputMbps(1) / res_uniform.GoodputMbps(1), 1.0, 0.22)
+      << phy::RateName(rate);
+}
+
+INSTANTIATE_TEST_SUITE_P(DsssLadder, BaselinePropertySweep,
+                         ::testing::Values(WifiRate::k1Mbps, WifiRate::k2Mbps,
+                                           WifiRate::k5_5Mbps),
+                         [](const auto& info) {
+                           std::string name(phy::RateName(info.param));
+                           for (char& c : name) {
+                             if (c == '.') {
+                               c = '_';
+                             }
+                           }
+                           return name;
+                         });
+
+// ---- Analytic model invariants over random populations --------------------------------
+
+class ModelPopulationSweep : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(ModelPopulationSweep, AllocationsAreConsistent) {
+  sim::Rng rng(GetParam());
+  const int n = static_cast<int>(rng.UniformInt(2, 8));
+  std::vector<model::NodeModel> nodes;
+  for (int i = 0; i < n; ++i) {
+    model::NodeModel node;
+    node.beta_bps = 0.5e6 + 7.5e6 * rng.UniformDouble();
+    node.packet_bytes = 200.0 + 1300.0 * rng.UniformDouble();
+    nodes.push_back(node);
+  }
+
+  const model::Allocation rf = model::ThroughputFairAllocation(nodes);
+  const model::Allocation tf = model::TimeFairAllocation(nodes);
+
+  // Channel time conservation.
+  double rf_time = 0.0;
+  double tf_time = 0.0;
+  for (int i = 0; i < n; ++i) {
+    rf_time += rf.channel_time[static_cast<size_t>(i)];
+    tf_time += tf.channel_time[static_cast<size_t>(i)];
+  }
+  EXPECT_NEAR(rf_time, 1.0, 1e-9);
+  EXPECT_NEAR(tf_time, 1.0, 1e-9);
+
+  // TF aggregate dominates RF aggregate (equality iff all betas equal).
+  EXPECT_GE(tf.total_bps, rf.total_bps - 1.0);
+
+  // R(i) = T(i) * beta_i in both notions.
+  for (int i = 0; i < n; ++i) {
+    const auto k = static_cast<size_t>(i);
+    EXPECT_NEAR(rf.throughput_bps[k], rf.channel_time[k] * nodes[k].beta_bps, 1e-3);
+    EXPECT_NEAR(tf.throughput_bps[k], tf.channel_time[k] * nodes[k].beta_bps, 1e-3);
+  }
+
+  // Jain index over throughput is 1.0 under RF only when packet sizes are equal;
+  // under TF the airtime Jain index is always 1.0.
+  EXPECT_NEAR(stats::JainIndex(tf.channel_time), 1.0, 1e-9);
+}
+
+TEST_P(ModelPopulationSweep, TaskModelWorkConservation) {
+  sim::Rng rng(GetParam() + 1000);
+  const int n = static_cast<int>(rng.UniformInt(2, 6));
+  std::vector<model::Task> tasks;
+  double total_channel_seconds = 0.0;
+  for (int i = 0; i < n; ++i) {
+    model::Task t;
+    t.beta_bps = 0.5e6 + 7.5e6 * rng.UniformDouble();
+    t.bytes = 1e5 + 5e6 * rng.UniformDouble();
+    total_channel_seconds += t.bytes * 8.0 / t.beta_bps;
+    tasks.push_back(t);
+  }
+  const model::TaskOutcome rf = model::RunTaskModel(tasks, model::FairnessNotion::kThroughputFair);
+  const model::TaskOutcome tf = model::RunTaskModel(tasks, model::FairnessNotion::kTimeFair);
+
+  // FinalTaskTime equals total channel-time demand under any work-conserving notion.
+  EXPECT_NEAR(rf.final_task_time_sec, total_channel_seconds, 1e-6);
+  EXPECT_NEAR(tf.final_task_time_sec, total_channel_seconds, 1e-6);
+  // Completion times are positive and bounded by the final time.
+  for (int i = 0; i < n; ++i) {
+    const auto k = static_cast<size_t>(i);
+    EXPECT_GT(tf.completion_sec[k], 0.0);
+    EXPECT_LE(tf.completion_sec[k], tf.final_task_time_sec + 1e-9);
+  }
+  // Average cannot exceed final.
+  EXPECT_LE(tf.avg_task_time_sec, tf.final_task_time_sec + 1e-9);
+  EXPECT_LE(rf.avg_task_time_sec, rf.final_task_time_sec + 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ModelPopulationSweep,
+                         ::testing::Range<uint64_t>(1, 11));
+
+// ---- Jain index sanity ----------------------------------------------------------------
+
+TEST(JainIndexProperty, BoundsAndExtremes) {
+  EXPECT_DOUBLE_EQ(stats::JainIndex({1.0, 1.0, 1.0}), 1.0);
+  EXPECT_NEAR(stats::JainIndex({1.0, 0.0, 0.0}), 1.0 / 3.0, 1e-12);
+  sim::Rng rng(4);
+  for (int trial = 0; trial < 50; ++trial) {
+    std::vector<double> xs;
+    const int n = static_cast<int>(rng.UniformInt(1, 12));
+    for (int i = 0; i < n; ++i) {
+      xs.push_back(rng.UniformDouble() * 10.0);
+    }
+    const double j = stats::JainIndex(xs);
+    EXPECT_GE(j, 1.0 / static_cast<double>(n) - 1e-12);
+    EXPECT_LE(j, 1.0 + 1e-12);
+  }
+}
+
+}  // namespace
+}  // namespace tbf

@@ -1,0 +1,99 @@
+#include <gtest/gtest.h>
+
+#include "tbf/rateadapt/rate_controller.h"
+
+namespace tbf::rateadapt {
+namespace {
+
+TEST(FixedRateTest, ReturnsDefaultAndPinned) {
+  FixedRateController ctrl(phy::WifiRate::k5_5Mbps);
+  EXPECT_EQ(ctrl.CurrentRate(1), phy::WifiRate::k5_5Mbps);
+  ctrl.SetRate(1, phy::WifiRate::k1Mbps);
+  EXPECT_EQ(ctrl.CurrentRate(1), phy::WifiRate::k1Mbps);
+  EXPECT_EQ(ctrl.CurrentRate(2), phy::WifiRate::k5_5Mbps);
+  ctrl.OnTxResult(1, false, 5);  // No-op.
+  EXPECT_EQ(ctrl.CurrentRate(1), phy::WifiRate::k1Mbps);
+}
+
+TEST(ArfTest, StepsDownAfterConsecutiveFailures) {
+  ArfController arf;
+  EXPECT_EQ(arf.CurrentRate(1), phy::WifiRate::k11Mbps);
+  arf.OnTxResult(1, false, 8);
+  EXPECT_EQ(arf.CurrentRate(1), phy::WifiRate::k11Mbps);  // One failure is tolerated.
+  arf.OnTxResult(1, false, 8);
+  EXPECT_EQ(arf.CurrentRate(1), phy::WifiRate::k5_5Mbps);
+}
+
+TEST(ArfTest, ProbesUpAfterSuccessStreak) {
+  ArfConfig config;
+  config.initial_rate = phy::WifiRate::k5_5Mbps;
+  config.up_after_successes = 5;
+  ArfController arf(config);
+  for (int i = 0; i < 5; ++i) {
+    arf.OnTxResult(1, true, 1);
+  }
+  EXPECT_EQ(arf.CurrentRate(1), phy::WifiRate::k11Mbps);
+}
+
+TEST(ArfTest, FailedProbeFallsBackImmediately) {
+  ArfConfig config;
+  config.initial_rate = phy::WifiRate::k5_5Mbps;
+  config.up_after_successes = 5;
+  ArfController arf(config);
+  for (int i = 0; i < 5; ++i) {
+    arf.OnTxResult(1, true, 1);
+  }
+  ASSERT_EQ(arf.CurrentRate(1), phy::WifiRate::k11Mbps);
+  arf.OnTxResult(1, false, 8);  // Probe frame failed: drop straight back down.
+  EXPECT_EQ(arf.CurrentRate(1), phy::WifiRate::k5_5Mbps);
+}
+
+TEST(ArfTest, RetriedSuccessCountsAgainstLink) {
+  ArfController arf;
+  // Delivered but needing 3+ attempts -> treated as a failure signal.
+  arf.OnTxResult(1, true, 4);
+  arf.OnTxResult(1, true, 4);
+  EXPECT_EQ(arf.CurrentRate(1), phy::WifiRate::k5_5Mbps);
+}
+
+TEST(ArfTest, StaysAtFloor) {
+  ArfConfig config;
+  config.initial_rate = phy::WifiRate::k1Mbps;
+  ArfController arf(config);
+  for (int i = 0; i < 10; ++i) {
+    arf.OnTxResult(1, false, 8);
+  }
+  EXPECT_EQ(arf.CurrentRate(1), phy::WifiRate::k1Mbps);
+}
+
+TEST(ArfTest, PerPeerIsolation) {
+  ArfController arf;
+  arf.OnTxResult(1, false, 8);
+  arf.OnTxResult(1, false, 8);
+  EXPECT_EQ(arf.CurrentRate(1), phy::WifiRate::k5_5Mbps);
+  EXPECT_EQ(arf.CurrentRate(2), phy::WifiRate::k11Mbps);
+}
+
+TEST(ArfTest, SeedSetsRate) {
+  ArfController arf;
+  arf.Seed(1, phy::WifiRate::k2Mbps);
+  EXPECT_EQ(arf.CurrentRate(1), phy::WifiRate::k2Mbps);
+}
+
+TEST(CompositeTest, RoutesAdaptiveAndPinnedPeers) {
+  CompositeRateController ctrl;
+  ctrl.PinRate(1, phy::WifiRate::k2Mbps);
+  ctrl.MarkAdaptive(2, phy::WifiRate::k11Mbps);
+  EXPECT_EQ(ctrl.CurrentRate(1), phy::WifiRate::k2Mbps);
+  EXPECT_EQ(ctrl.CurrentRate(2), phy::WifiRate::k11Mbps);
+  // Failures move only the adaptive peer.
+  ctrl.OnTxResult(1, false, 8);
+  ctrl.OnTxResult(1, false, 8);
+  ctrl.OnTxResult(2, false, 8);
+  ctrl.OnTxResult(2, false, 8);
+  EXPECT_EQ(ctrl.CurrentRate(1), phy::WifiRate::k2Mbps);
+  EXPECT_EQ(ctrl.CurrentRate(2), phy::WifiRate::k5_5Mbps);
+}
+
+}  // namespace
+}  // namespace tbf::rateadapt

@@ -1,0 +1,132 @@
+// Scaling sweeps: the paper's claims must hold "for any number of nodes" (Section 2.1).
+// These parameterized tests grow the cell and check DCF opportunity fairness, TBR airtime
+// equality, the Eq. 12 n-node prediction, and weighted shares.
+#include <gtest/gtest.h>
+
+#include "tbf/model/baseline.h"
+#include "tbf/model/fairness_model.h"
+#include "tbf/scenario/wlan.h"
+
+namespace tbf {
+namespace {
+
+using phy::WifiRate;
+using scenario::Direction;
+using scenario::QdiscKind;
+using scenario::Results;
+using scenario::ScenarioConfig;
+using scenario::Wlan;
+
+ScenarioConfig SweepConfig(QdiscKind qdisc) {
+  ScenarioConfig config;
+  config.qdisc = qdisc;
+  config.warmup = Sec(2);
+  config.duration = Sec(10);
+  return config;
+}
+
+class NodeCountSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(NodeCountSweep, TbrEqualizesAirtimeWithOneSlowNode) {
+  const int n = GetParam();
+  Wlan wlan(SweepConfig(QdiscKind::kTbr));
+  wlan.AddStation(1, WifiRate::k1Mbps);
+  wlan.AddBulkTcp(1, Direction::kDownlink);
+  for (NodeId id = 2; id <= n; ++id) {
+    wlan.AddStation(id, WifiRate::k11Mbps);
+    wlan.AddBulkTcp(id, Direction::kDownlink);
+  }
+  const Results res = wlan.Run();
+  const double fair = 1.0 / n;
+  for (NodeId id = 1; id <= n; ++id) {
+    EXPECT_NEAR(res.AirtimeShare(id), fair, fair * 0.35) << "node " << id << " of " << n;
+  }
+}
+
+TEST_P(NodeCountSweep, DcfCollapsesToSlowestRegardlessOfCellSize) {
+  // The anomaly worsens with more fast nodes? No: with DCF the total stays pinned near
+  // the equal-throughput solution of Eq. 7, well below the TBR cell.
+  const int n = GetParam();
+  auto run = [&](QdiscKind kind) {
+    Wlan wlan(SweepConfig(kind));
+    wlan.AddStation(1, WifiRate::k1Mbps);
+    wlan.AddBulkTcp(1, Direction::kDownlink);
+    for (NodeId id = 2; id <= n; ++id) {
+      wlan.AddStation(id, WifiRate::k11Mbps);
+      wlan.AddBulkTcp(id, Direction::kDownlink);
+    }
+    return wlan.Run();
+  };
+  const Results fifo = run(QdiscKind::kFifo);
+  const Results tbr = run(QdiscKind::kTbr);
+
+  // Eq. 7 and Eq. 13 predictions from the paper's Table 2 betas.
+  const auto& betas = model::PaperTable2Baselines();
+  std::vector<model::NodeModel> nodes = {{betas.at(WifiRate::k1Mbps), 1500.0, 1.0}};
+  for (int i = 1; i < n; ++i) {
+    nodes.push_back({betas.at(WifiRate::k11Mbps), 1500.0, 1.0});
+  }
+  const double eq7 = model::ThroughputFairAllocation(nodes).total_bps / 1e6;
+  const double eq13 = model::TimeFairAllocation(nodes).total_bps / 1e6;
+
+  EXPECT_NEAR(fifo.AggregateMbps() / eq7, 1.0, 0.25) << "n=" << n;
+  EXPECT_NEAR(tbr.AggregateMbps() / eq13, 1.0, 0.25) << "n=" << n;
+  EXPECT_GT(tbr.AggregateMbps() / fifo.AggregateMbps(), 1.4) << "n=" << n;
+}
+
+INSTANTIATE_TEST_SUITE_P(Cells, NodeCountSweep, ::testing::Values(2, 3, 4, 5),
+                         [](const auto& info) {
+                           return "n" + std::to_string(info.param);
+                         });
+
+class WeightSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(WeightSweep, AirtimeTracksWeight) {
+  const double w = GetParam();
+  ScenarioConfig config = SweepConfig(QdiscKind::kTbr);
+  config.tbr.enable_rate_adjust = false;
+  Wlan wlan(config);
+  wlan.AddStation(1, WifiRate::k11Mbps);
+  wlan.AddStation(2, WifiRate::k11Mbps);
+  wlan.AddBulkTcp(1, Direction::kDownlink);
+  wlan.AddBulkTcp(2, Direction::kDownlink);
+  wlan.BuildNow();
+  wlan.tbr()->SetWeight(1, w);
+  wlan.tbr()->SetWeight(2, 1.0);
+  const Results res = wlan.Run();
+  const double expected = w / (w + 1.0);
+  EXPECT_NEAR(res.AirtimeShare(1), expected, 0.08) << "weight " << w;
+}
+
+INSTANTIATE_TEST_SUITE_P(Weights, WeightSweep, ::testing::Values(1.0, 2.0, 3.0, 5.0),
+                         [](const auto& info) {
+                           return "w" + std::to_string(static_cast<int>(info.param));
+                         });
+
+TEST(ScalingTest, BaselinePropertyHoldsInLargerCells) {
+  // Paper Section 1: "competing against n nodes ... identical to competing against n
+  // nodes all using its data rate". 1 Mbps node among three 11 Mbps nodes vs among
+  // three 1 Mbps nodes, under TBR.
+  auto run_mixed = [] {
+    Wlan wlan(SweepConfig(QdiscKind::kTbr));
+    wlan.AddStation(1, WifiRate::k1Mbps);
+    wlan.AddBulkTcp(1, Direction::kDownlink);
+    for (NodeId id = 2; id <= 4; ++id) {
+      wlan.AddStation(id, WifiRate::k11Mbps);
+      wlan.AddBulkTcp(id, Direction::kDownlink);
+    }
+    return wlan.Run().GoodputMbps(1);
+  };
+  auto run_uniform = [] {
+    Wlan wlan(SweepConfig(QdiscKind::kFifo));
+    for (NodeId id = 1; id <= 4; ++id) {
+      wlan.AddStation(id, WifiRate::k1Mbps);
+      wlan.AddBulkTcp(id, Direction::kDownlink);
+    }
+    return wlan.Run().GoodputMbps(1);
+  };
+  EXPECT_NEAR(run_mixed() / run_uniform(), 1.0, 0.30);
+}
+
+}  // namespace
+}  // namespace tbf

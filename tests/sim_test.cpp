@@ -1,0 +1,158 @@
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "tbf/sim/random.h"
+#include "tbf/sim/simulator.h"
+#include "tbf/util/units.h"
+
+namespace tbf {
+namespace {
+
+TEST(SimulatorTest, StartsAtZero) {
+  sim::Simulator sim;
+  EXPECT_EQ(sim.Now(), 0);
+  EXPECT_TRUE(sim.IsIdle());
+}
+
+TEST(SimulatorTest, RunsEventsInTimeOrder) {
+  sim::Simulator sim;
+  std::vector<int> order;
+  sim.Schedule(Us(30), [&] { order.push_back(3); });
+  sim.Schedule(Us(10), [&] { order.push_back(1); });
+  sim.Schedule(Us(20), [&] { order.push_back(2); });
+  sim.RunUntilIdle();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(sim.Now(), Us(30));
+}
+
+TEST(SimulatorTest, EqualTimestampsFireFifo) {
+  sim::Simulator sim;
+  std::vector<int> order;
+  for (int i = 0; i < 8; ++i) {
+    sim.Schedule(Us(5), [&order, i] { order.push_back(i); });
+  }
+  sim.RunUntilIdle();
+  for (int i = 0; i < 8; ++i) {
+    EXPECT_EQ(order[static_cast<size_t>(i)], i);
+  }
+}
+
+TEST(SimulatorTest, RunUntilStopsAtBound) {
+  sim::Simulator sim;
+  int fired = 0;
+  sim.Schedule(Us(10), [&] { ++fired; });
+  sim.Schedule(Us(50), [&] { ++fired; });
+  sim.RunUntil(Us(20));
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(sim.Now(), Us(20));
+  sim.RunUntil(Us(100));
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(SimulatorTest, CancelPreventsExecution) {
+  sim::Simulator sim;
+  int fired = 0;
+  const sim::EventId id = sim.Schedule(Us(10), [&] { ++fired; });
+  sim.Schedule(Us(20), [&] { ++fired; });
+  sim.Cancel(id);
+  sim.RunUntilIdle();
+  EXPECT_EQ(fired, 1);
+}
+
+TEST(SimulatorTest, CancelFiredEventIsNoOp) {
+  sim::Simulator sim;
+  int fired = 0;
+  const sim::EventId id = sim.Schedule(Us(10), [&] { ++fired; });
+  sim.RunUntilIdle();
+  sim.Cancel(id);
+  sim.Cancel(sim::kInvalidEventId);
+  EXPECT_EQ(fired, 1);
+}
+
+TEST(SimulatorTest, EventsScheduledFromCallbacksRun) {
+  sim::Simulator sim;
+  int depth = 0;
+  std::function<void()> chain = [&] {
+    ++depth;
+    if (depth < 5) {
+      sim.Schedule(Us(1), chain);
+    }
+  };
+  sim.Schedule(Us(1), chain);
+  sim.RunUntilIdle();
+  EXPECT_EQ(depth, 5);
+  EXPECT_EQ(sim.Now(), Us(5));
+}
+
+TEST(SimulatorTest, PastScheduleClampsToNow) {
+  sim::Simulator sim;
+  sim.Schedule(Us(10), [&] {
+    sim.ScheduleAt(Us(3), [&] { EXPECT_EQ(sim.Now(), Us(10)); });
+  });
+  sim.RunUntilIdle();
+}
+
+TEST(SimulatorTest, StopHaltsRun) {
+  sim::Simulator sim;
+  int fired = 0;
+  sim.Schedule(Us(10), [&] {
+    ++fired;
+    sim.Stop();
+  });
+  sim.Schedule(Us(20), [&] { ++fired; });
+  sim.RunUntil(Us(100));
+  EXPECT_EQ(fired, 1);
+  // A subsequent run resumes with the remaining events.
+  sim.RunUntil(Us(100));
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(RngTest, DeterministicForSeed) {
+  sim::Rng a(42);
+  sim::Rng b(42);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.UniformInt(0, 1023), b.UniformInt(0, 1023));
+  }
+}
+
+TEST(RngTest, UniformIntRespectsBounds) {
+  sim::Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    const int64_t v = rng.UniformInt(3, 17);
+    EXPECT_GE(v, 3);
+    EXPECT_LE(v, 17);
+  }
+}
+
+TEST(RngTest, BernoulliEdgeCases) {
+  sim::Rng rng(7);
+  EXPECT_FALSE(rng.Bernoulli(0.0));
+  EXPECT_TRUE(rng.Bernoulli(1.0));
+  int hits = 0;
+  for (int i = 0; i < 10000; ++i) {
+    hits += rng.Bernoulli(0.25) ? 1 : 0;
+  }
+  EXPECT_NEAR(hits / 10000.0, 0.25, 0.03);
+}
+
+TEST(RngTest, ParetoAboveMinimum) {
+  sim::Rng rng(9);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_GE(rng.Pareto(10.0, 1.2), 10.0);
+  }
+}
+
+TEST(UnitsTest, TransmissionTimeRoundsUp) {
+  // 1500 bytes at 11 Mbps = 12000 bits / 11e6 bps = 1090.909.. us.
+  EXPECT_EQ(TransmissionTime(1500, Mbps(11)), 1090910);  // ns, rounded up.
+  EXPECT_EQ(TransmissionTime(1500, Mbps(1)), Us(12000));
+}
+
+TEST(UnitsTest, ThroughputBps) {
+  EXPECT_DOUBLE_EQ(ThroughputBps(125'000, Sec(1)), 1e6);
+  EXPECT_DOUBLE_EQ(ThroughputBps(100, 0), 0.0);
+}
+
+}  // namespace
+}  // namespace tbf

@@ -1,0 +1,264 @@
+// Transport-only TCP tests over a synthetic pipe (rate limit + delay + loss), isolating
+// the Reno implementation from the 802.11 stack.
+#include <deque>
+
+#include <gtest/gtest.h>
+
+#include "tbf/net/tcp.h"
+#include "tbf/sim/random.h"
+#include "tbf/sim/simulator.h"
+
+namespace tbf::net {
+namespace {
+
+// A bidirectional pipe with per-direction serialization rate, propagation delay, a
+// drop-tail queue, and optional random loss.
+class Pipe {
+ public:
+  Pipe(sim::Simulator* sim, BitRate rate, TimeNs delay, size_t queue_limit = 64,
+       double loss = 0.0, uint64_t seed = 1)
+      : sim_(sim), rate_(rate), delay_(delay), queue_limit_(queue_limit), loss_(loss),
+        rng_(seed) {}
+
+  void SetForwardSink(std::function<void(PacketPtr)> fn) { fwd_.sink = std::move(fn); }
+  void SetReverseSink(std::function<void(PacketPtr)> fn) { rev_.sink = std::move(fn); }
+
+  void SendForward(PacketPtr p) { Send(fwd_, std::move(p)); }
+  void SendReverse(PacketPtr p) { Send(rev_, std::move(p)); }
+
+  int64_t dropped() const { return dropped_; }
+
+ private:
+  struct Dir {
+    std::function<void(PacketPtr)> sink;
+    std::deque<PacketPtr> queue;
+    bool busy = false;
+  };
+
+  void Send(Dir& d, PacketPtr p) {
+    if (loss_ > 0.0 && rng_.Bernoulli(loss_)) {
+      ++dropped_;
+      return;
+    }
+    if (d.queue.size() >= queue_limit_) {
+      ++dropped_;
+      return;
+    }
+    d.queue.push_back(std::move(p));
+    if (!d.busy) {
+      Pump(d);
+    }
+  }
+
+  void Pump(Dir& d) {
+    if (d.queue.empty()) {
+      d.busy = false;
+      return;
+    }
+    d.busy = true;
+    PacketPtr p = std::move(d.queue.front());
+    d.queue.pop_front();
+    const TimeNs tx = TransmissionTime(p->size_bytes, rate_);
+    sim_->Schedule(tx + delay_, [&d, p] { d.sink(p); });
+    sim_->Schedule(tx, [this, &d] { Pump(d); });
+  }
+
+  sim::Simulator* sim_;
+  BitRate rate_;
+  TimeNs delay_;
+  size_t queue_limit_;
+  double loss_;
+  sim::Rng rng_;
+  int64_t dropped_ = 0;
+  Dir fwd_;
+  Dir rev_;
+};
+
+struct Connection {
+  Connection(sim::Simulator* sim, BitRate rate, TimeNs delay, double loss = 0.0,
+             size_t queue = 64)
+      : pipe(sim, rate, delay, queue, loss) {
+    FlowAddress addr;
+    addr.flow_id = 1;
+    addr.sender = 1;
+    addr.receiver = 2;
+    addr.wlan_client = 1;
+    TcpConfig config;
+    sender = std::make_unique<TcpSender>(sim, config, addr,
+                                         [this](PacketPtr p) { pipe.SendForward(p); });
+    receiver = std::make_unique<TcpReceiver>(
+        sim, config, addr, [this](PacketPtr p) { pipe.SendReverse(p); },
+        [this](int64_t bytes) { delivered += bytes; });
+    pipe.SetForwardSink([this](PacketPtr p) { receiver->HandlePacket(p); });
+    pipe.SetReverseSink([this](PacketPtr p) { sender->HandlePacket(p); });
+  }
+
+  Pipe pipe;
+  std::unique_ptr<TcpSender> sender;
+  std::unique_ptr<TcpReceiver> receiver;
+  int64_t delivered = 0;
+};
+
+TEST(TcpTest, CompletesFixedTask) {
+  sim::Simulator sim;
+  Connection c(&sim, Mbps(10), Ms(5));
+  c.sender->SetTaskBytes(1'000'000);
+  c.sender->Start();
+  sim.RunUntil(Sec(30));
+  EXPECT_TRUE(c.sender->Done());
+  EXPECT_EQ(c.receiver->bytes_received(), 1'000'000);
+  EXPECT_EQ(c.delivered, 1'000'000);
+  EXPECT_GT(c.sender->completion_time(), 0);
+}
+
+TEST(TcpTest, ThroughputApproachesBottleneck) {
+  sim::Simulator sim;
+  Connection c(&sim, Mbps(10), Ms(2));
+  c.sender->Start();
+  sim.RunUntil(Sec(10));
+  const double goodput = static_cast<double>(c.delivered) * 8.0 / 10.0;
+  // 1460/1500 payload efficiency -> ~9.7 Mbps ceiling.
+  EXPECT_GT(goodput, 8.0e6);
+  EXPECT_LT(goodput, 10.0e6);
+}
+
+TEST(TcpTest, WindowLimitedByRttProduct) {
+  sim::Simulator sim;
+  // 100 Mbps pipe, 50 ms RTT: rwnd (64 KiB) limits throughput to ~10.5 Mbps.
+  Connection c(&sim, Mbps(100), Ms(25));
+  c.sender->Start();
+  sim.RunUntil(Sec(20));
+  const double goodput = static_cast<double>(c.delivered) * 8.0 / 20.0;
+  const double rwnd_limit = 64.0 * 1024.0 * 8.0 / 0.050;
+  EXPECT_LT(goodput, rwnd_limit * 1.05);
+  EXPECT_GT(goodput, rwnd_limit * 0.55);
+}
+
+TEST(TcpTest, SurvivesRandomLoss) {
+  sim::Simulator sim;
+  Connection c(&sim, Mbps(10), Ms(5), /*loss=*/0.01);
+  c.sender->SetTaskBytes(2'000'000);
+  c.sender->Start();
+  sim.RunUntil(Sec(60));
+  EXPECT_TRUE(c.sender->Done());
+  EXPECT_EQ(c.receiver->bytes_received(), 2'000'000);
+  EXPECT_GT(c.sender->retransmits(), 0);
+}
+
+TEST(TcpTest, LossReducesThroughput) {
+  sim::Simulator sim;
+  Connection clean(&sim, Mbps(10), Ms(5));
+  Connection lossy(&sim, Mbps(10), Ms(5), /*loss=*/0.03);
+  clean.sender->Start();
+  lossy.sender->Start();
+  sim.RunUntil(Sec(15));
+  EXPECT_GT(clean.delivered, lossy.delivered);
+}
+
+TEST(TcpTest, DelayedAcksHalveAckCount) {
+  sim::Simulator sim;
+  Connection c(&sim, Mbps(10), Ms(5));
+  c.sender->SetTaskBytes(1'460'000);  // 1000 segments.
+  c.sender->Start();
+  sim.RunUntil(Sec(30));
+  ASSERT_TRUE(c.sender->Done());
+  // Every 2nd in-order segment is acked; allow slack for delack timer and recovery acks.
+  EXPECT_LT(c.receiver->acks_sent(), 650);
+  EXPECT_GT(c.receiver->acks_sent(), 450);
+}
+
+TEST(TcpTest, AppLimitCapsRate) {
+  sim::Simulator sim;
+  Connection c(&sim, Mbps(10), Ms(5));
+  c.sender->SetAppLimitBps(Mbps(2.1));
+  c.sender->Start();
+  sim.RunUntil(Sec(20));
+  const double goodput = static_cast<double>(c.delivered) * 8.0 / 20.0;
+  EXPECT_NEAR(goodput, 2.1e6 * (1460.0 / 1500.0), 0.15e6);
+}
+
+TEST(TcpTest, SlowStartDoublesWindowInitially) {
+  sim::Simulator sim;
+  Connection c(&sim, Mbps(50), Ms(20));
+  c.sender->Start();
+  sim.RunUntil(Ms(300));
+  // After several RTTs of slow start the window should be well above the initial 2 MSS.
+  EXPECT_GT(c.sender->cwnd_bytes(), 8.0 * 1460);
+}
+
+TEST(TcpTest, RttEstimateTracksPathDelay) {
+  sim::Simulator sim;
+  Connection c(&sim, Mbps(10), Ms(10));  // RTT >= 20 ms.
+  c.sender->Start();
+  sim.RunUntil(Sec(5));
+  EXPECT_GT(c.sender->srtt(), Ms(20));
+  EXPECT_LT(c.sender->srtt(), Ms(120));
+}
+
+TEST(TcpTest, RecoversFromQueueOverflow) {
+  sim::Simulator sim;
+  // Tiny queue forces drop-tail losses as cwnd grows past the BDP.
+  Connection c(&sim, Mbps(5), Ms(10), 0.0, /*queue=*/8);
+  c.sender->SetTaskBytes(3'000'000);
+  c.sender->Start();
+  sim.RunUntil(Sec(60));
+  EXPECT_TRUE(c.sender->Done());
+  EXPECT_GT(c.sender->retransmits(), 0);
+  EXPECT_EQ(c.receiver->bytes_received(), 3'000'000);
+}
+
+TEST(TcpTest, ZeroLengthTaskNeverStarts) {
+  sim::Simulator sim;
+  Connection c(&sim, Mbps(10), Ms(5));
+  c.sender->SetTaskBytes(0);  // 0 means unbounded, so Done() is never true.
+  c.sender->Start();
+  sim.RunUntil(Sec(1));
+  EXPECT_FALSE(c.sender->Done());
+  EXPECT_GT(c.delivered, 0);
+}
+
+TEST(TcpTest, ReceiverReassemblesOutOfOrder) {
+  sim::Simulator sim;
+  FlowAddress addr;
+  addr.flow_id = 1;
+  addr.sender = 1;
+  addr.receiver = 2;
+  std::vector<PacketPtr> acks;
+  int64_t delivered = 0;
+  TcpReceiver rx(
+      &sim, TcpConfig{}, addr, [&](PacketPtr p) { acks.push_back(p); },
+      [&](int64_t b) { delivered += b; });
+
+  auto seg = [&](int64_t seq, int len) {
+    auto p = std::make_shared<Packet>();
+    p->proto = Proto::kTcpData;
+    p->flow_id = 1;
+    p->seq = seq;
+    p->end_seq = seq + len;
+    p->size_bytes = len + kIpTcpHeaderBytes;
+    return p;
+  };
+
+  rx.HandlePacket(seg(0, 1000));
+  rx.HandlePacket(seg(2000, 1000));  // Hole at [1000, 2000) -> immediate dup ack.
+  rx.HandlePacket(seg(1000, 1000));  // Fills the hole.
+  sim.RunUntilIdle();
+  EXPECT_EQ(rx.bytes_received(), 3000);
+  EXPECT_EQ(delivered, 3000);
+  ASSERT_FALSE(acks.empty());
+  EXPECT_EQ(acks.back()->ack, 3000);
+}
+
+TEST(TcpTest, DupAcksTriggerFastRetransmitNotTimeout) {
+  sim::Simulator sim;
+  Connection c(&sim, Mbps(10), Ms(5), /*loss=*/0.005);
+  c.sender->SetTaskBytes(4'000'000);
+  c.sender->Start();
+  sim.RunUntil(Sec(60));
+  ASSERT_TRUE(c.sender->Done());
+  // With light loss and plenty of dupacks, fast retransmit should dominate timeouts.
+  EXPECT_GT(c.sender->retransmits(), c.sender->timeouts());
+}
+
+}  // namespace
+}  // namespace tbf::net
