@@ -1,0 +1,86 @@
+#!/usr/bin/env python3
+"""Merge two google-benchmark JSON outputs into the repo's BENCH_*.json trajectory format.
+
+Usage:
+    ./micro_core --benchmark_out=baseline.json --benchmark_out_format=json  # old build
+    ./micro_core --benchmark_out=after.json --benchmark_out_format=json     # new build
+    python3 bench/compare_bench.py --baseline baseline.json --after after.json \
+        --tag pr1 --out BENCH_pr1.json
+
+With only --after, emits the measurement without speedup fields (trajectory snapshot).
+Schema: see bench/README.md ("tbf-bench-v1").
+"""
+import argparse
+import json
+import sys
+
+
+def load_medians(path):
+    """Returns {benchmark_name: {...}} using *_median aggregates when present, else the
+    plain entry (single-repetition runs)."""
+    with open(path) as f:
+        doc = json.load(f)
+    out = {}
+    for b in doc.get("benchmarks", []):
+        if b.get("run_type") == "aggregate" and b.get("aggregate_name") != "median":
+            continue
+        name = b.get("run_name", b["name"])
+        entry = {
+            "real_time_ns": b["real_time"] * _to_ns(b.get("time_unit", "ns")),
+            "cpu_time_ns": b["cpu_time"] * _to_ns(b.get("time_unit", "ns")),
+        }
+        if "items_per_second" in b:
+            entry["items_per_second"] = b["items_per_second"]
+        # Plain entries must not clobber a median aggregate already recorded.
+        if b.get("run_type") == "aggregate" or name not in out:
+            out[name] = entry
+    return out, doc.get("context", {})
+
+
+def _to_ns(unit):
+    return {"ns": 1, "us": 1e3, "ms": 1e6, "s": 1e9}[unit]
+
+
+def main():
+    ap = argparse.ArgumentParser()
+    ap.add_argument("--baseline", help="google-benchmark JSON of the pre-change build")
+    ap.add_argument("--after", required=True, help="google-benchmark JSON of this build")
+    ap.add_argument("--tag", required=True, help="trajectory tag, e.g. pr1")
+    ap.add_argument("--out", required=True, help="output BENCH_*.json path")
+    args = ap.parse_args()
+
+    after, context = load_medians(args.after)
+    baseline = {}
+    if args.baseline:
+        baseline, _ = load_medians(args.baseline)
+
+    benchmarks = {}
+    for name, entry in sorted(after.items()):
+        row = {"after": entry}
+        if name in baseline:
+            row["baseline"] = baseline[name]
+            if entry["real_time_ns"] > 0:
+                row["speedup"] = round(
+                    baseline[name]["real_time_ns"] / entry["real_time_ns"], 3)
+        benchmarks[name] = row
+
+    doc = {
+        "schema": "tbf-bench-v1",
+        "tag": args.tag,
+        "host": {
+            "num_cpus": context.get("num_cpus"),
+            "mhz_per_cpu": context.get("mhz_per_cpu"),
+            "build_type": context.get("library_build_type"),
+        },
+        "benchmarks": benchmarks,
+    }
+    with open(args.out, "w") as f:
+        json.dump(doc, f, indent=2)
+        f.write("\n")
+    print(f"wrote {args.out} ({len(benchmarks)} benchmarks, "
+          f"{sum(1 for b in benchmarks.values() if 'speedup' in b)} with baselines)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

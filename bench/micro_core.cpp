@@ -2,7 +2,17 @@
 // TBR token operations that run per frame at the AP, the DCF contention engine, and the
 // analytic models. These bound TBR's per-packet CPU cost - the practical deployability
 // argument (the paper ran it on a PIII-700 AP).
+//
+// The event-queue benchmarks measure the *steady state* (warm event pool, reused
+// simulator), which is the regime every figure/table bench runs in after its first few
+// simulated milliseconds. BM_EventQueueColdStart covers first-touch growth separately.
+//
+// Emit machine-readable results with:
+//   ./micro_core --benchmark_out=BENCH_<tag>.json --benchmark_out_format=json
+// (see bench/README.md for the comparison workflow).
 #include <benchmark/benchmark.h>
+
+#include <vector>
 
 #include "tbf/core/tbr.h"
 #include "tbf/mac/medium.h"
@@ -16,23 +26,44 @@ namespace {
 
 using namespace tbf;
 
-void BM_EventQueueScheduleRun(benchmark::State& state) {
-  for (auto _ : state) {
-    sim::Simulator sim;
-    for (int i = 0; i < 1000; ++i) {
-      sim.Schedule(Us(i % 97), [] {});
-    }
-    benchmark::DoNotOptimize(sim.RunUntilIdle());
+// Self-rescheduling chain with DCF-flavoured deltas (slots, IFS, frame airtimes at the
+// 802.11b rates). Every fired event schedules its successor, so a run keeps a constant
+// population of pending events - the simulator's real operating point.
+struct ChurnChain {
+  sim::Simulator* sim;
+  int64_t* fired;
+  int i = 0;
+
+  void operator()() {
+    static constexpr TimeNs kDeltas[] = {Us(20),   Us(10),  Us(50),    Us(310),
+                                         Us(1091), Us(214), Us(12000), Us(2000)};
+    ++*fired;
+    const TimeNs delta = kDeltas[static_cast<size_t>(++i) & 7];
+    sim->Schedule(delta, *this);
   }
-  state.SetItemsProcessed(state.iterations() * 1000);
+};
+
+void BM_EventQueueScheduleRun(benchmark::State& state) {
+  sim::Simulator sim;
+  int64_t fired = 0;
+  for (int j = 0; j < 1000; ++j) {
+    sim.Schedule(Us(j), ChurnChain{&sim, &fired, j});
+  }
+  sim.RunUntil(Ms(50));  // Warm the event pool and wheel.
+  const int64_t warm = fired;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sim.RunUntil(sim.Now() + Ms(2)));
+  }
+  state.SetItemsProcessed(fired - warm);
 }
 BENCHMARK(BM_EventQueueScheduleRun);
 
 void BM_EventQueueCancelHeavy(benchmark::State& state) {
+  sim::Simulator sim;
+  std::vector<sim::EventId> ids;
+  ids.reserve(1000);
   for (auto _ : state) {
-    sim::Simulator sim;
-    std::vector<sim::EventId> ids;
-    ids.reserve(1000);
+    ids.clear();
     for (int i = 0; i < 1000; ++i) {
       ids.push_back(sim.Schedule(Us(i), [] {}));
     }
@@ -44,6 +75,19 @@ void BM_EventQueueCancelHeavy(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * 1000);
 }
 BENCHMARK(BM_EventQueueCancelHeavy);
+
+void BM_EventQueueColdStart(benchmark::State& state) {
+  // First-touch cost: fresh simulator per iteration (slab/wheel growth included).
+  for (auto _ : state) {
+    sim::Simulator sim;
+    for (int i = 0; i < 1000; ++i) {
+      sim.Schedule(Us(i % 97), [] {});
+    }
+    benchmark::DoNotOptimize(sim.RunUntilIdle());
+  }
+  state.SetItemsProcessed(state.iterations() * 1000);
+}
+BENCHMARK(BM_EventQueueColdStart);
 
 net::PacketPtr MakePacket(NodeId client) {
   auto p = std::make_shared<net::Packet>();
@@ -98,6 +142,29 @@ void BM_DcfSaturatedSecond(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_DcfSaturatedSecond)->Unit(benchmark::kMillisecond);
+
+void BM_ManyStationCell(benchmark::State& state) {
+  // Wall time per simulated second of a large TBR cell with mixed rates and saturated
+  // downlink TCP to every station - the scenario-diversity scaling check. Reported
+  // per-iteration time IS wall ms per simulated second (duration = 1 s).
+  const int n = static_cast<int>(state.range(0));
+  static constexpr phy::WifiRate kRates[] = {phy::WifiRate::k11Mbps, phy::WifiRate::k5_5Mbps,
+                                             phy::WifiRate::k2Mbps, phy::WifiRate::k1Mbps};
+  for (auto _ : state) {
+    scenario::ScenarioConfig config;
+    config.qdisc = scenario::QdiscKind::kTbr;
+    config.warmup = 0;
+    config.duration = Sec(1);
+    scenario::Wlan wlan(config);
+    for (NodeId id = 1; id <= n; ++id) {
+      wlan.AddStation(id, kRates[static_cast<size_t>(id) & 3]);
+      wlan.AddBulkTcp(id, scenario::Direction::kDownlink);
+    }
+    benchmark::DoNotOptimize(wlan.Run().aggregate_bps);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ManyStationCell)->Arg(64)->Arg(256)->Unit(benchmark::kMillisecond);
 
 void BM_FairnessModelAllocation(benchmark::State& state) {
   const int n = static_cast<int>(state.range(0));

@@ -10,14 +10,18 @@ TimeBasedRegulator::TimeBasedRegulator(sim::Simulator* sim, phy::MacTimings timi
                                        TbrConfig config)
     : sim_(sim), timings_(timings), config_(config) {}
 
-void TimeBasedRegulator::OnAssociate(NodeId client) {
-  if (clients_.contains(client)) {
-    return;
+void TimeBasedRegulator::OnAssociate(NodeId client) { GetOrAssociate(client); }
+
+TimeBasedRegulator::ClientState& TimeBasedRegulator::GetOrAssociate(NodeId client) {
+  auto it = clients_.find(client);
+  if (it != clients_.end()) {
+    return it->second;
   }
   ClientState st;
   st.tokens = config_.initial_tokens;
-  clients_.emplace(client, std::move(st));
-  order_.push_back(client);
+  it = clients_.emplace(client, std::move(st)).first;
+  order_.push_back(&it->second);
+  total_weight_ += it->second.weight;
   RecomputeFairRates();
 
   if (!timers_started_) {
@@ -28,30 +32,27 @@ void TimeBasedRegulator::OnAssociate(NodeId client) {
       sim_->Schedule(config_.adjust_period, [this] { AdjustRateEvent(); });
     }
   }
+  return it->second;
 }
 
 void TimeBasedRegulator::RecomputeFairRates() {
-  double total_weight = 0.0;
-  for (const auto& [id, st] : clients_) {
-    total_weight += st.weight;
-  }
-  if (total_weight <= 0.0) {
+  if (total_weight_ <= 0.0) {
     return;
   }
-  for (auto& [id, st] : clients_) {
-    st.rate = st.weight / total_weight;
+  for (ClientState* st : order_) {
+    st->rate = st->weight / total_weight_;
   }
 }
 
 void TimeBasedRegulator::SetWeight(NodeId client, double weight) {
-  OnAssociate(client);
-  clients_[client].weight = weight;
+  ClientState& st = GetOrAssociate(client);
+  total_weight_ += weight - st.weight;
+  st.weight = weight;
   RecomputeFairRates();
 }
 
 bool TimeBasedRegulator::Enqueue(net::PacketPtr packet) {
-  OnAssociate(packet->wlan_client);
-  ClientState& st = clients_[packet->wlan_client];
+  ClientState& st = GetOrAssociate(packet->wlan_client);
   if (st.queue.size() >= config_.per_queue_limit) {
     CountDrop();
     return false;
@@ -61,17 +62,18 @@ bool TimeBasedRegulator::Enqueue(net::PacketPtr packet) {
 }
 
 net::PacketPtr TimeBasedRegulator::Dequeue() {
-  if (order_.empty()) {
+  const size_t n = order_.size();
+  if (n == 0) {
     return nullptr;
   }
   // Round-robin over queues with positive channel-time credit (Fig. 6, MACTXEVENT).
-  for (size_t i = 0; i < order_.size(); ++i) {
-    const size_t idx = (next_ + i) % order_.size();
-    ClientState& st = clients_[order_[idx]];
+  for (size_t i = 0; i < n; ++i) {
+    const size_t idx = next_ + i < n ? next_ + i : next_ + i - n;
+    ClientState& st = *order_[idx];
     if (Eligible(st)) {
       net::PacketPtr p = std::move(st.queue.front());
       st.queue.pop_front();
-      next_ = (idx + 1) % order_.size();
+      next_ = idx + 1 < n ? idx + 1 : 0;
       return p;
     }
   }
@@ -80,32 +82,29 @@ net::PacketPtr TimeBasedRegulator::Dequeue() {
   }
   // No positive-credit queue: rather than idle the channel, serve the backlogged client
   // closest to eligibility (largest token balance).
-  NodeId best = kInvalidNodeId;
-  TimeNs best_tokens = 0;
-  for (auto& [id, st] : clients_) {
-    if (!st.queue.empty() && (best == kInvalidNodeId || st.tokens > best_tokens)) {
-      best = id;
-      best_tokens = st.tokens;
+  ClientState* best = nullptr;
+  for (ClientState* st : order_) {
+    if (!st->queue.empty() && (best == nullptr || st->tokens > best->tokens)) {
+      best = st;
     }
   }
-  if (best == kInvalidNodeId) {
+  if (best == nullptr) {
     return nullptr;
   }
-  ClientState& st = clients_[best];
-  net::PacketPtr p = std::move(st.queue.front());
-  st.queue.pop_front();
+  net::PacketPtr p = std::move(best->queue.front());
+  best->queue.pop_front();
   return p;
 }
 
 bool TimeBasedRegulator::HasEligible() const {
-  for (const auto& [id, st] : clients_) {
-    if (Eligible(st)) {
+  for (const ClientState* st : order_) {
+    if (Eligible(*st)) {
       return true;
     }
   }
   if (config_.work_conserving_fallback) {
-    for (const auto& [id, st] : clients_) {
-      if (!st.queue.empty()) {
+    for (const ClientState* st : order_) {
+      if (!st->queue.empty()) {
         return true;
       }
     }
@@ -115,8 +114,8 @@ bool TimeBasedRegulator::HasEligible() const {
 
 size_t TimeBasedRegulator::QueuedPackets() const {
   size_t n = 0;
-  for (const auto& [id, st] : clients_) {
-    n += st.queue.size();
+  for (const ClientState* st : order_) {
+    n += st->queue.size();
   }
   return n;
 }
@@ -129,7 +128,7 @@ TimeNs TimeBasedRegulator::EstimateOccupancy(int mac_frame_bytes, phy::WifiRate 
     // contention the expected idle is roughly the solo expectation divided by the number
     // of contenders (minimum of independent uniform draws), so scale by the cell size;
     // what matters for fairness is that the estimate is applied uniformly to all nodes.
-    const auto contenders = static_cast<TimeNs>(std::max<size_t>(clients_.size(), 1));
+    const auto contenders = static_cast<TimeNs>(std::max<size_t>(order_.size(), 1));
     per_attempt += timings_.Difs() + (timings_.cw_min / 2) * timings_.slot / contenders;
   }
   return per_attempt * std::max(attempts, 1);
@@ -174,7 +173,8 @@ void TimeBasedRegulator::FillEvent() {
   const TimeNs dt = now - last_fill_;
   last_fill_ = now;
   bool became_eligible = false;
-  for (auto& [id, st] : clients_) {
+  for (ClientState* stp : order_) {
+    ClientState& st = *stp;
     const bool was = Eligible(st);
     st.tokens += static_cast<TimeNs>(st.rate * static_cast<double>(dt));
     if (st.tokens > config_.bucket_depth) {
@@ -191,13 +191,14 @@ void TimeBasedRegulator::FillEvent() {
 void TimeBasedRegulator::AdjustRateEvent() {
   const double window = static_cast<double>(config_.adjust_period);
   // Excess = assigned share minus consumed share over the window (Fig. 7).
-  std::vector<NodeId> under;   // excess >= Rth.
-  std::vector<NodeId> full;    // consumed close to assignment: I'.
-  NodeId max_excess_node = kInvalidNodeId;
+  std::vector<ClientState*> under;  // excess >= Rth.
+  std::vector<ClientState*> full;   // consumed close to assignment: I'.
+  ClientState* max_excess_node = nullptr;
   double max_excess = 0.0;
   double min_excess = 0.0;
   double total_usage = 0.0;
-  for (auto& [id, st] : clients_) {
+  for (ClientState* stp : order_) {
+    ClientState& st = *stp;
     const double usage = static_cast<double>(st.actual) / window;
     if (st.smoothed_usage < 0.0) {
       st.smoothed_usage = st.rate;  // Assume full use until evidence accumulates.
@@ -206,16 +207,16 @@ void TimeBasedRegulator::AdjustRateEvent() {
     total_usage += st.smoothed_usage;
     const double excess = st.rate - st.smoothed_usage;
     if (excess >= config_.adjust_threshold) {
-      under.push_back(id);
+      under.push_back(&st);
       if (under.size() == 1 || excess < min_excess) {
         min_excess = excess;
       }
-      if (max_excess_node == kInvalidNodeId || excess > max_excess) {
+      if (max_excess_node == nullptr || excess > max_excess) {
         max_excess = excess;
-        max_excess_node = id;
+        max_excess_node = &st;
       }
     } else {
-      full.push_back(id);
+      full.push_back(&st);
     }
   }
 
@@ -226,14 +227,13 @@ void TimeBasedRegulator::AdjustRateEvent() {
     // guard: a donor's rate never drops below what it demonstrably uses plus a margin,
     // so estimator noise or transport burstiness cannot bleed away a busy node's share.
     double donation = min_excess / 2.0;
-    ClientState& donor = clients_[max_excess_node];
     donation = std::min(donation, max_excess - config_.adjust_threshold / 2.0);
-    donation = std::min(donation, donor.rate - config_.min_rate);
+    donation = std::min(donation, max_excess_node->rate - config_.min_rate);
     if (donation > 0.0) {
-      donor.rate -= donation;
+      max_excess_node->rate -= donation;
       const double share = donation / static_cast<double>(full.size());
-      for (NodeId id : full) {
-        clients_[id].rate += share;
+      for (ClientState* st : full) {
+        st->rate += share;
       }
     }
   }
@@ -242,40 +242,37 @@ void TimeBasedRegulator::AdjustRateEvent() {
     // A fully-utilizing node sitting below its weighted fair share is starved; reclaim
     // from nodes holding more than fair share, proportionally to their surplus. This
     // restores the paper's max-min constraint after demand shifts.
-    double total_weight = 0.0;
-    for (const auto& [id, st] : clients_) {
-      total_weight += st.weight;
-    }
-    for (NodeId id : full) {
-      ClientState& st = clients_[id];
-      const double fair = st.weight / total_weight;
-      if (st.rate >= fair) {
+    for (ClientState* st : full) {
+      const double fair = st->weight / total_weight_;
+      if (st->rate >= fair) {
         continue;
       }
-      double want = std::min(config_.repair_step, fair - st.rate);
+      double want = std::min(config_.repair_step, fair - st->rate);
       double surplus_total = 0.0;
-      for (auto& [jid, jst] : clients_) {
-        const double jfair = jst.weight / total_weight;
-        if (jid != id && jst.rate > jfair) {
-          surplus_total += jst.rate - jfair;
+      for (ClientState* op : order_) {
+        ClientState& other = *op;
+        const double other_fair = other.weight / total_weight_;
+        if (&other != st && other.rate > other_fair) {
+          surplus_total += other.rate - other_fair;
         }
       }
       if (surplus_total <= 0.0) {
         continue;
       }
       want = std::min(want, surplus_total);
-      for (auto& [jid, jst] : clients_) {
-        const double jfair = jst.weight / total_weight;
-        if (jid != id && jst.rate > jfair) {
-          jst.rate -= want * (jst.rate - jfair) / surplus_total;
+      for (ClientState* op : order_) {
+        ClientState& other = *op;
+        const double other_fair = other.weight / total_weight_;
+        if (&other != st && other.rate > other_fair) {
+          other.rate -= want * (other.rate - other_fair) / surplus_total;
         }
       }
-      st.rate += want;
+      st->rate += want;
     }
   }
 
-  for (auto& [id, st] : clients_) {
-    st.actual = 0;
+  for (ClientState* st : order_) {
+    st->actual = 0;
   }
   sim_->Schedule(config_.adjust_period, [this] { AdjustRateEvent(); });
 }

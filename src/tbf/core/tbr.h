@@ -125,6 +125,7 @@ class TimeBasedRegulator : public ap::Qdisc {
   void FillEvent();
   void AdjustRateEvent();
   void RecomputeFairRates();
+  ClientState& GetOrAssociate(NodeId client);
   void Charge(NodeId client, TimeNs occupancy);
   void MaybePauseClient(NodeId client);
   bool Eligible(const ClientState& st) const { return !st.queue.empty() && st.tokens > 0; }
@@ -135,8 +136,12 @@ class TimeBasedRegulator : public ap::Qdisc {
   ClientPauseFn client_pause_;
 
   std::map<NodeId, ClientState> clients_;
-  std::vector<NodeId> order_;
+  // Round-robin order as direct state pointers, so the per-step walk in Dequeue()
+  // (MACTXEVENT, once per frame) never hashes back into clients_. Pointers are stable
+  // because clients_ is a node-based map and clients never disassociate.
+  std::vector<ClientState*> order_;
   size_t next_ = 0;
+  double total_weight_ = 0.0;  // Cached sum of weights (invariant: > 0 once non-empty).
   TimeNs last_fill_ = 0;
   bool timers_started_ = false;
 };

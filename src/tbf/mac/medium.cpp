@@ -8,14 +8,23 @@ namespace tbf::mac {
 
 Medium::Medium(sim::Simulator* sim, phy::MacTimings timings, const phy::LossModel* loss,
                sim::Rng* rng)
-    : sim_(sim), timings_(timings), loss_(loss), rng_(rng) {}
+    : sim_(sim), timings_(timings), loss_(loss), rng_(rng), default_ifs_(timings.Difs()) {}
 
 void Medium::Attach(DcfEntity* entity) {
   TBF_CHECK(entities_.emplace(entity->id(), entity).second) << "duplicate node id";
 }
 
+void Medium::SyncIfs(DcfEntity* entity) {
+  if (entity->ifs_epoch_ != ifs_epoch_) {
+    entity->next_ifs_ = default_ifs_;
+    entity->ifs_epoch_ = ifs_epoch_;
+  }
+}
+
 void Medium::EnterContention(DcfEntity* entity) {
-  if (std::find(contenders_.begin(), contenders_.end(), entity) == contenders_.end()) {
+  SyncIfs(entity);
+  if (entity->contender_index_ < 0) {
+    entity->contender_index_ = static_cast<int>(contenders_.size());
     contenders_.push_back(entity);
   }
   entity->in_contention_ = true;
@@ -24,11 +33,20 @@ void Medium::EnterContention(DcfEntity* entity) {
   }
 }
 
-void Medium::LeaveContention(DcfEntity* entity) {
-  auto it = std::find(contenders_.begin(), contenders_.end(), entity);
-  if (it != contenders_.end()) {
-    contenders_.erase(it);
+void Medium::RemoveContender(DcfEntity* entity) {
+  const int index = entity->contender_index_;
+  if (index < 0) {
+    return;
   }
+  DcfEntity* last = contenders_.back();
+  contenders_[static_cast<size_t>(index)] = last;
+  last->contender_index_ = index;
+  contenders_.pop_back();
+  entity->contender_index_ = -1;
+}
+
+void Medium::LeaveContention(DcfEntity* entity) {
+  RemoveContender(entity);
   entity->in_contention_ = false;
   if (!busy_) {
     ScheduleAccessDecision();
@@ -73,46 +91,42 @@ void Medium::OnAccessInstant() {
     return;
   }
   const TimeNs now = sim_->Now();
-  std::vector<DcfEntity*> winners;
+  winners_.clear();
   for (DcfEntity* e : contenders_) {
     if (e->AccessTime(idle_start_, timings_.slot) <= now) {
-      winners.push_back(e);
-    }
-  }
-  if (winners.empty()) {
-    ScheduleAccessDecision();
-    return;
-  }
-  // Non-winners consume the idle slots that elapsed while they counted down.
-  for (DcfEntity* e : contenders_) {
-    if (std::find(winners.begin(), winners.end(), e) == winners.end()) {
+      winners_.push_back(e);
+    } else {
+      // Non-winners consume the idle slots that elapsed while they counted down.
       e->ConsumeSlots(e->SlotsElapsed(idle_start_, timings_.slot, now));
     }
   }
-  for (DcfEntity* w : winners) {
-    auto it = std::find(contenders_.begin(), contenders_.end(), w);
-    TBF_CHECK(it != contenders_.end());
-    contenders_.erase(it);
+  if (winners_.empty()) {
+    ScheduleAccessDecision();
+    return;
+  }
+  for (DcfEntity* w : winners_) {
+    RemoveContender(w);
     w->in_contention_ = false;
     w->transmitting_ = true;
   }
-  BeginExchange(winners, now - idle_start_);
+  BeginExchange(now - idle_start_);
 }
 
-void Medium::BeginExchange(const std::vector<DcfEntity*>& winners, TimeNs idle_consumed) {
+void Medium::BeginExchange(TimeNs idle_consumed) {
   const TimeNs now = sim_->Now();
   busy_ = true;
   ++exchanges_;
 
-  const bool collision = winners.size() > 1;
+  const bool collision = winners_.size() > 1;
   if (collision) {
     ++collisions_;
   }
 
   TimeNs busy_until = now;
-  bool any_corrupted = false;
+  exchange_corrupted_ = false;
+  exchange_records_.clear();
 
-  for (DcfEntity* w : winners) {
+  for (DcfEntity* w : winners_) {
     TBF_CHECK(w->pending_.has_value());
     const MacFrame& frame = *w->pending_;
     const TimeNs data_air = phy::FrameAirtime(frame.frame_bytes, frame.rate);
@@ -120,7 +134,7 @@ void Medium::BeginExchange(const std::vector<DcfEntity*>& winners, TimeNs idle_c
 
     ExchangeRecord record;
     record.tx_start = now;
-    record.idle_before = collision ? idle_consumed / static_cast<TimeNs>(winners.size())
+    record.idle_before = collision ? idle_consumed / static_cast<TimeNs>(winners_.size())
                                    : idle_consumed;
     record.tx = frame.src;
     record.rx = frame.dst;
@@ -157,7 +171,7 @@ void Medium::BeginExchange(const std::vector<DcfEntity*>& winners, TimeNs idle_c
         }
       });
     } else {
-      any_corrupted = true;
+      exchange_corrupted_ = true;
     }
 
     record.data_lost = data_lost;
@@ -179,26 +193,50 @@ void Medium::BeginExchange(const std::vector<DcfEntity*>& winners, TimeNs idle_c
       sim_->ScheduleAt(outcome_at, [w_ptr, charged] { w_ptr->OnTxOutcome(false, charged); });
     }
 
-    for (MediumObserver* obs : observers_) {
-      ExchangeRecord copy = record;
-      sim_->ScheduleAt(this_busy_end, [obs, copy] { obs->OnExchange(copy); });
+    // One dispatch event per record (not per observer) iterating all observers; the
+    // record stays in exchange_records_, so the callback captures only (this, index).
+    if (!observers_.empty()) {
+      const size_t index = exchange_records_.size();
+      sim_->ScheduleAt(this_busy_end, [this, index] { DispatchRecord(index); });
     }
+    exchange_records_.push_back(std::move(record));
   }
 
   busy_time_ += busy_until - now;
-  sim_->ScheduleAt(busy_until, [this, any_corrupted, winners] {
-    FinishExchange(any_corrupted, winners);
-  });
+  sim_->ScheduleAt(busy_until, [this] { FinishExchange(); });
 }
 
-void Medium::FinishExchange(bool corrupted, const std::vector<DcfEntity*>& winners) {
+void Medium::DispatchRecord(size_t index) {
+  const ExchangeRecord& record = exchange_records_[index];
+  for (MediumObserver* obs : observers_) {
+    obs->OnExchange(record);
+  }
+}
+
+void Medium::FinishExchange() {
   busy_ = false;
   idle_start_ = sim_->Now();
-  for (auto& [id, entity] : entities_) {
-    const bool was_winner =
-        std::find(winners.begin(), winners.end(), entity) != winners.end();
-    entity->next_ifs_ = (corrupted && !was_winner) ? timings_.Eifs() : timings_.Difs();
+  // New IFS epoch: third parties owe EIFS when any frame in the exchange was corrupted,
+  // DIFS otherwise. Only active entities (current contenders and this exchange's winners)
+  // are touched here; idle stations pick the default up lazily via SyncIfs when they next
+  // enter contention, so a cell full of idle stations pays nothing per exchange.
+  ++ifs_epoch_;
+  default_ifs_ = exchange_corrupted_ ? timings_.Eifs() : timings_.Difs();
+  for (DcfEntity* c : contenders_) {
+    c->next_ifs_ = default_ifs_;
+    c->ifs_epoch_ = ifs_epoch_;
+    ++ifs_updates_;
   }
+  // Winners always resume with DIFS (they transmitted; EIFS is for third parties that
+  // could not decode the exchange). This runs after the contender loop so a winner that
+  // already re-entered contention ends up with DIFS either way.
+  for (DcfEntity* w : winners_) {
+    w->next_ifs_ = timings_.Difs();
+    w->ifs_epoch_ = ifs_epoch_;
+    ++ifs_updates_;
+  }
+  exchange_records_.clear();
+  winners_.clear();  // Drop entity pointers as soon as the exchange is fully settled.
   ScheduleAccessDecision();
 }
 

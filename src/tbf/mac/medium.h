@@ -89,13 +89,24 @@ class Medium {
   int64_t collisions() const { return collisions_; }
   int64_t exchanges() const { return exchanges_; }
 
+  // Perf introspection: per-exchange IFS bookkeeping touches only contenders and
+  // winners, never the whole cell (idle stations sync lazily on their next access).
+  int64_t ifs_updates() const { return ifs_updates_; }
+
  private:
   friend class DcfEntity;
 
   void ScheduleAccessDecision();
   void OnAccessInstant();
-  void BeginExchange(const std::vector<DcfEntity*>& winners, TimeNs idle_consumed);
-  void FinishExchange(bool corrupted, const std::vector<DcfEntity*>& winners);
+  // Runs the exchange for the current winners_ set (built by OnAccessInstant).
+  void BeginExchange(TimeNs idle_consumed);
+  void FinishExchange();
+  void DispatchRecord(size_t index);
+
+  // O(1) swap-remove via the entity's contender_index_ back-pointer.
+  void RemoveContender(DcfEntity* entity);
+  // Lazy EIFS/DIFS pickup for entities that sat out recent exchanges.
+  void SyncIfs(DcfEntity* entity);
 
   // Owner attribution: the client node whose traffic the frame carries.
   static NodeId OwnerOf(const MacFrame& frame);
@@ -112,6 +123,19 @@ class Medium {
   bool busy_ = false;
   TimeNs idle_start_ = 0;
   sim::EventId access_event_ = sim::kInvalidEventId;
+
+  // In-flight exchange state (one exchange at a time in a single collision domain).
+  // Reused across exchanges so BeginExchange performs no per-exchange allocation once
+  // warm, and so scheduled callbacks capture only (this, index).
+  std::vector<DcfEntity*> winners_;
+  std::vector<ExchangeRecord> exchange_records_;
+  bool exchange_corrupted_ = false;
+
+  // Post-exchange IFS epoch: entities compare their ifs_epoch_ against this and pick up
+  // default_ifs_ lazily instead of being touched on every exchange.
+  uint64_t ifs_epoch_ = 0;
+  TimeNs default_ifs_ = 0;
+  int64_t ifs_updates_ = 0;
 
   stats::AirtimeMeter airtime_;
   TimeNs busy_time_ = 0;
@@ -177,9 +201,11 @@ class DcfEntity {
   std::optional<MacFrame> pending_;
   bool in_contention_ = false;
   bool transmitting_ = false;
+  int contender_index_ = -1;  // Position in Medium::contenders_, -1 when absent.
   int64_t backoff_slots_ = 0;
   TimeNs join_time_ = 0;
-  TimeNs next_ifs_ = 0;  // DIFS normally, EIFS after observing a corrupted frame.
+  TimeNs next_ifs_ = 0;   // DIFS normally, EIFS after observing a corrupted frame.
+  uint64_t ifs_epoch_ = 0;  // Last Medium::ifs_epoch_ this entity synced against.
   int cw_ = 31;
   int retry_ = 0;
   TimeNs airtime_accumulated_ = 0;  // Occupancy across attempts of the pending frame.

@@ -1,0 +1,108 @@
+// Small-buffer-optimized, move-only callable for the event kernel.
+//
+// Every simulator callback is stored inline: a callable whose captures exceed kCapacity
+// fails to compile (static_assert) instead of silently heap-allocating the way
+// std::function does. This is what makes Schedule() allocation-free in steady state.
+#ifndef TBF_SIM_INLINE_CALLBACK_H_
+#define TBF_SIM_INLINE_CALLBACK_H_
+
+#include <cstddef>
+#include <cstring>
+#include <type_traits>
+#include <utility>
+
+namespace tbf::sim {
+
+class InlineCallback {
+ public:
+  // Fits every in-tree capture (largest: a MacFrame by value plus a pointer, 40 bytes).
+  static constexpr size_t kCapacity = 48;
+
+  InlineCallback() noexcept = default;
+
+  template <typename F,
+            typename = std::enable_if_t<!std::is_same_v<std::decay_t<F>, InlineCallback>>>
+  InlineCallback(F&& f) {  // NOLINT(google-explicit-constructor): mirrors std::function.
+    Emplace(std::forward<F>(f));
+  }
+
+  // Constructs the callable directly into the inline storage (destroying any current
+  // one) - the schedule fast path builds callbacks in their slab slot with zero moves.
+  template <typename F>
+  void Emplace(F&& f) {
+    using Fn = std::decay_t<F>;
+    static_assert(sizeof(Fn) <= kCapacity,
+                  "callback captures exceed InlineCallback::kCapacity; shrink the capture "
+                  "list (capture pointers/indices, stash bulk state in the owner)");
+    static_assert(alignof(Fn) <= alignof(std::max_align_t),
+                  "callback alignment exceeds inline storage alignment");
+    static_assert(std::is_nothrow_move_constructible_v<Fn>,
+                  "callbacks must be nothrow-move-constructible (heap pops relocate them)");
+    Reset();
+    ::new (static_cast<void*>(storage_)) Fn(std::forward<F>(f));
+    invoke_ = [](void* s) { (*static_cast<Fn*>(s))(); };
+    // Trivially-copyable captures (pointers, ints - every hot in-tree callback) relocate
+    // by plain memcpy with relocate_ left null, so moves and destruction stay branch-
+    // predictable and free of indirect calls on the event-fire fast path.
+    if constexpr (!(std::is_trivially_copyable_v<Fn> &&
+                    std::is_trivially_destructible_v<Fn>)) {
+      relocate_ = [](void* src, void* dst) {
+        Fn* fn = static_cast<Fn*>(src);
+        if (dst != nullptr) {
+          ::new (dst) Fn(std::move(*fn));
+        }
+        fn->~Fn();
+      };
+    }
+  }
+
+  InlineCallback(InlineCallback&& other) noexcept { MoveFrom(other); }
+
+  InlineCallback& operator=(InlineCallback&& other) noexcept {
+    if (this != &other) {
+      Reset();
+      MoveFrom(other);
+    }
+    return *this;
+  }
+
+  InlineCallback(const InlineCallback&) = delete;
+  InlineCallback& operator=(const InlineCallback&) = delete;
+
+  ~InlineCallback() { Reset(); }
+
+  void operator()() { invoke_(storage_); }
+
+  explicit operator bool() const noexcept { return invoke_ != nullptr; }
+
+  // Destroys the stored callable (releasing captured resources) without invoking it.
+  void Reset() noexcept {
+    if (relocate_ != nullptr) {
+      relocate_(storage_, nullptr);
+      relocate_ = nullptr;
+    }
+    invoke_ = nullptr;
+  }
+
+ private:
+  void MoveFrom(InlineCallback& other) noexcept {
+    invoke_ = other.invoke_;
+    relocate_ = other.relocate_;
+    if (relocate_ != nullptr) {
+      relocate_(other.storage_, storage_);
+    } else {
+      std::memcpy(storage_, other.storage_, kCapacity);
+    }
+    other.invoke_ = nullptr;
+    other.relocate_ = nullptr;
+  }
+
+  alignas(std::max_align_t) std::byte storage_[kCapacity];
+  void (*invoke_)(void*) = nullptr;
+  // Move-construct *src into dst then destroy *src; dst == nullptr destroys only.
+  void (*relocate_)(void* src, void* dst) = nullptr;
+};
+
+}  // namespace tbf::sim
+
+#endif  // TBF_SIM_INLINE_CALLBACK_H_

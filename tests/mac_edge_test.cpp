@@ -1,5 +1,8 @@
 // DCF edge cases: ACK corruption, EIFS after corrupted frames, collision accounting,
 // airtime attribution, and mixed b/g coexistence at the MAC layer.
+#include <memory>
+#include <vector>
+
 #include <gtest/gtest.h>
 
 #include "tbf/mac/medium.h"
@@ -214,6 +217,74 @@ TEST(MacEdgeTest, RetryUsesExponentialBackoff) {
   // precisely 8 frame airtimes, the rest of the cycle being timeout + growing backoff.
   EXPECT_EQ(medium.busy_time(), 8 * phy::FrameAirtime(1536, phy::WifiRate::k11Mbps));
   EXPECT_EQ(tx.entity_.retransmissions(), 8);
+}
+
+TEST(MacEdgeTest, ObserversSeeEveryExchangeOnceInBusyEndOrder) {
+  // All attached observers must see the same exchange stream: every exchange exactly
+  // once, delivered at (and ordered by) busy_end. Guards the single-dispatch-event
+  // optimization (one scheduled event per record iterating all observers).
+  class Recorder : public MediumObserver {
+   public:
+    explicit Recorder(sim::Simulator* sim) : sim_(sim) {}
+    void OnExchange(const ExchangeRecord& record) override {
+      EXPECT_EQ(sim_->Now(), record.busy_end);
+      EXPECT_GE(record.busy_end, last_busy_end_);
+      last_busy_end_ = record.busy_end;
+      ++count_;
+    }
+    sim::Simulator* sim_;
+    TimeNs last_busy_end_ = 0;
+    int64_t count_ = 0;
+  };
+
+  sim::Simulator sim;
+  sim::Rng rng(1);
+  phy::PerfectChannel perfect;
+  Medium medium(&sim, phy::MixedModeTimings(), &perfect, &rng);
+  Recorder first(&sim);
+  Recorder second(&sim);
+  medium.AddObserver(&first);
+  medium.AddObserver(&second);
+
+  Station sink(&medium, 3, 1, phy::WifiRate::k11Mbps, 0);
+  Station a(&medium, 1, 3, phy::WifiRate::k11Mbps, 200);
+  Station b(&medium, 2, 3, phy::WifiRate::k1Mbps, 200);
+  a.Start();
+  b.Start();
+  sim.RunUntil(Sec(30));  // Bounded budgets: every exchange completes inside the run.
+
+  // Collisions produce one record per transmitter, so records >= exchanges.
+  EXPECT_GE(first.count_, medium.exchanges());
+  EXPECT_EQ(first.count_, medium.exchanges() + medium.collisions());
+  EXPECT_EQ(first.count_, second.count_);
+  EXPECT_GT(first.count_, 0);
+}
+
+TEST(MacEdgeTest, IdleStationsPayNoPerExchangeWork) {
+  // A cell with hundreds of associated-but-idle stations must not be touched on every
+  // exchange: the EIFS/DIFS update is restricted to contenders and winners, and idle
+  // entities sync lazily when they next contend.
+  sim::Simulator sim;
+  sim::Rng rng(1);
+  phy::PerfectChannel perfect;
+  Medium medium(&sim, phy::MixedModeTimings(), &perfect, &rng);
+
+  Station sink(&medium, 300, 1, phy::WifiRate::k11Mbps, 0);
+  Station a(&medium, 1, 300, phy::WifiRate::k11Mbps);
+  Station b(&medium, 2, 300, phy::WifiRate::k11Mbps);
+  std::vector<std::unique_ptr<Station>> idle;
+  for (NodeId id = 3; id < 3 + 256; ++id) {
+    idle.push_back(std::make_unique<Station>(&medium, id, 300, phy::WifiRate::k11Mbps, 0));
+  }
+  a.Start();
+  b.Start();
+  sim.RunUntil(Sec(2));
+
+  ASSERT_GT(medium.exchanges(), 500);
+  // Two active contenders (+ winners) per exchange, never the 256 idle stations.
+  EXPECT_LT(medium.ifs_updates(), medium.exchanges() * 6);
+  EXPECT_GT(a.successes_, 0);
+  EXPECT_GT(b.successes_, 0);
 }
 
 }  // namespace

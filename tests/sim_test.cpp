@@ -70,6 +70,122 @@ TEST(SimulatorTest, CancelFiredEventIsNoOp) {
   EXPECT_EQ(fired, 1);
 }
 
+TEST(SimulatorTest, CancelTwiceDecrementsPendingOnce) {
+  sim::Simulator sim;
+  const sim::EventId id = sim.Schedule(Us(10), [] {});
+  sim.Schedule(Us(20), [] {});
+  EXPECT_EQ(sim.pending_events(), 2u);
+  sim.Cancel(id);
+  EXPECT_EQ(sim.pending_events(), 1u);
+  sim.Cancel(id);  // Double-cancel must be a no-op, not a second decrement.
+  EXPECT_EQ(sim.pending_events(), 1u);
+  EXPECT_FALSE(sim.IsIdle());
+  EXPECT_EQ(sim.RunUntilIdle(), 1);
+  EXPECT_TRUE(sim.IsIdle());
+  EXPECT_EQ(sim.pending_events(), 0u);
+}
+
+TEST(SimulatorTest, CancelAfterFireKeepsCountsExact) {
+  sim::Simulator sim;
+  const sim::EventId id = sim.Schedule(Us(10), [] {});
+  sim.RunUntilIdle();
+  EXPECT_TRUE(sim.IsIdle());
+  sim.Cancel(id);  // Stale id: already fired.
+  sim.Cancel(id);
+  EXPECT_TRUE(sim.IsIdle());
+  EXPECT_EQ(sim.pending_events(), 0u);
+  int fired = 0;
+  sim.Schedule(Us(10), [&] { ++fired; });
+  EXPECT_EQ(sim.pending_events(), 1u);
+  sim.RunUntilIdle();
+  EXPECT_EQ(fired, 1);
+}
+
+TEST(SimulatorTest, StaleIdCannotCancelReusedSlot) {
+  sim::Simulator sim;
+  const sim::EventId old_id = sim.Schedule(Us(1), [] {});
+  sim.RunUntilIdle();  // Frees the slot; the generation tag advances.
+  int fired = 0;
+  sim.Schedule(Us(1), [&] { ++fired; });  // Reuses the slot.
+  sim.Cancel(old_id);                     // Must not hit the new occupant.
+  sim.RunUntilIdle();
+  EXPECT_EQ(fired, 1);
+}
+
+TEST(SimulatorTest, CancellingTheFiringEventFromItsOwnCallbackIsNoOp) {
+  sim::Simulator sim;
+  sim::EventId self = sim::kInvalidEventId;
+  int fired = 0;
+  self = sim.Schedule(Us(1), [&] {
+    ++fired;
+    sim.Cancel(self);  // The id is already retired while its callback runs.
+  });
+  sim.RunUntilIdle();
+  EXPECT_EQ(fired, 1);
+  EXPECT_TRUE(sim.IsIdle());
+  EXPECT_EQ(sim.pending_events(), 0u);
+}
+
+TEST(SimulatorTest, EventPoolReachesSteadyState) {
+  sim::Simulator sim;
+  auto cycle = [&] {
+    std::vector<sim::EventId> ids;
+    for (int i = 0; i < 256; ++i) {
+      ids.push_back(sim.Schedule(Us(i % 29), [] {}));
+    }
+    for (size_t i = 0; i < ids.size(); i += 3) {
+      sim.Cancel(ids[i]);
+    }
+    sim.RunUntilIdle();
+  };
+  cycle();
+  const size_t warm_slots = sim.event_pool_slots();
+  for (int r = 0; r < 10; ++r) {
+    cycle();
+  }
+  // Slab slots are recycled through the free list, never re-grown in steady state.
+  EXPECT_EQ(sim.event_pool_slots(), warm_slots);
+}
+
+TEST(SimulatorTest, FarFutureEventsOrderAcrossOverflowHorizon) {
+  // Events beyond the timing wheel's horizon take the overflow path; order and FIFO
+  // tie-breaking must be seamless across the boundary.
+  sim::Simulator sim;
+  std::vector<int> order;
+  sim.Schedule(Sec(2), [&] { order.push_back(4); });
+  sim.Schedule(Us(5), [&] { order.push_back(1); });
+  sim.Schedule(Ms(500), [&] { order.push_back(2); });  // Overflow when scheduled.
+  sim.Schedule(Ms(500), [&] { order.push_back(3); });  // Same instant: FIFO.
+  sim.RunUntil(Sec(1));
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(sim.pending_events(), 1u);
+  sim.RunUntilIdle();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3, 4}));
+  EXPECT_EQ(sim.Now(), Sec(2));
+}
+
+TEST(SimulatorTest, DeterministicOrderForDenseMixedSchedule) {
+  // Same schedule -> identical execution order, including events scheduled from inside
+  // callbacks at the current instant (which clamp to now and append in FIFO order).
+  auto run = [] {
+    sim::Simulator sim;
+    std::vector<int> order;
+    for (int i = 0; i < 500; ++i) {
+      sim.Schedule(Us(i % 17), [&sim, &order, i] {
+        order.push_back(i);
+        if (i % 31 == 0) {
+          sim.Schedule(0, [&order, i] { order.push_back(1000 + i); });
+        }
+      });
+    }
+    sim.RunUntilIdle();
+    return order;
+  };
+  const std::vector<int> first = run();
+  EXPECT_EQ(first.size(), 517u);
+  EXPECT_EQ(first, run());
+}
+
 TEST(SimulatorTest, EventsScheduledFromCallbacksRun) {
   sim::Simulator sim;
   int depth = 0;
