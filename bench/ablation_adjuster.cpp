@@ -11,28 +11,34 @@ namespace {
 using namespace tbf;
 using namespace tbf::bench;
 
-scenario::Results RunDemandDiverse(const core::TbrConfig& tbr) {
-  scenario::ScenarioConfig config = StandardConfig(scenario::QdiscKind::kTbr, Sec(25));
-  config.tbr = tbr;
-  config.warmup = Sec(8);
-  scenario::Wlan wlan(config);
-  wlan.AddStation(1, phy::WifiRate::k11Mbps);
-  wlan.AddStation(2, phy::WifiRate::k11Mbps);
-  wlan.AddBulkTcp(1, scenario::Direction::kUplink);
-  auto& f2 = wlan.AddBulkTcp(2, scenario::Direction::kUplink);
-  f2.app_limit_bps = Mbps(2.1);
-  return wlan.Run();
+sweep::ScenarioJob DemandDiverseJob(const core::TbrConfig& tbr) {
+  sweep::ScenarioJob job;
+  job.config = StandardConfig(scenario::QdiscKind::kTbr, Sec(25));
+  job.config.tbr = tbr;
+  job.config.warmup = Sec(8);
+  for (NodeId id = 1; id <= 2; ++id) {
+    scenario::StationSpec station;
+    station.id = id;
+    station.rate = phy::WifiRate::k11Mbps;
+    job.stations.push_back(station);
+    scenario::FlowSpec flow;
+    flow.client = id;
+    flow.direction = scenario::Direction::kUplink;
+    flow.transport = scenario::Transport::kTcp;
+    if (id == 2) {
+      flow.app_limit_bps = Mbps(2.1);
+    }
+    job.flows.push_back(flow);
+  }
+  return job;
 }
 
-scenario::Results RunMixedRates(const core::TbrConfig& tbr) {
-  scenario::ScenarioConfig config = StandardConfig(scenario::QdiscKind::kTbr, Sec(25));
-  config.tbr = tbr;
-  scenario::Wlan wlan(config);
-  wlan.AddStation(1, phy::WifiRate::k1Mbps);
-  wlan.AddStation(2, phy::WifiRate::k11Mbps);
-  wlan.AddBulkTcp(1, scenario::Direction::kUplink);
-  wlan.AddBulkTcp(2, scenario::Direction::kUplink);
-  return wlan.Run();
+sweep::ScenarioJob MixedRatesJob(const core::TbrConfig& tbr) {
+  sweep::ScenarioJob job = TcpPairJob(scenario::QdiscKind::kTbr, phy::WifiRate::k1Mbps,
+                                      phy::WifiRate::k11Mbps, scenario::Direction::kUplink,
+                                      Sec(25));
+  job.config.tbr = tbr;
+  return job;
 }
 
 }  // namespace
@@ -55,13 +61,27 @@ int main() {
       {"adjuster on, fallback on", true, true},
   };
 
-  std::printf("(a) demand diversity: greedy n1 + 2.1 Mbps-limited n2, both 11 Mbps\n");
-  stats::Table demand({"variant", "n1 Mbps", "n2 Mbps", "total", "utilization"});
+  // Both probes' grids in a single sweep: 4 demand-diversity jobs then 4 mixed-rate jobs.
+  std::vector<sweep::ScenarioJob> jobs;
   for (const Variant& v : variants) {
     core::TbrConfig tbr;
     tbr.enable_rate_adjust = v.adjust;
     tbr.work_conserving_fallback = v.fallback;
-    const scenario::Results res = RunDemandDiverse(tbr);
+    jobs.push_back(DemandDiverseJob(tbr));
+  }
+  for (const Variant& v : variants) {
+    core::TbrConfig tbr;
+    tbr.enable_rate_adjust = v.adjust;
+    tbr.work_conserving_fallback = v.fallback;
+    jobs.push_back(MixedRatesJob(tbr));
+  }
+  const std::vector<scenario::Results> results = RunSweepScenarios(jobs);
+
+  std::printf("(a) demand diversity: greedy n1 + 2.1 Mbps-limited n2, both 11 Mbps\n");
+  stats::Table demand({"variant", "n1 Mbps", "n2 Mbps", "total", "utilization"});
+  size_t job = 0;
+  for (const Variant& v : variants) {
+    const scenario::Results& res = results[job++];
     demand.AddRow({v.name, stats::Table::Num(res.GoodputMbps(1)),
                    stats::Table::Num(res.GoodputMbps(2)),
                    stats::Table::Num(res.AggregateMbps()),
@@ -72,10 +92,7 @@ int main() {
   std::printf("\n(b) saturated mixed rates: 1 Mbps vs 11 Mbps uplink TCP\n");
   stats::Table mixed({"variant", "airtime n1(slow)", "airtime n2(fast)", "total Mbps"});
   for (const Variant& v : variants) {
-    core::TbrConfig tbr;
-    tbr.enable_rate_adjust = v.adjust;
-    tbr.work_conserving_fallback = v.fallback;
-    const scenario::Results res = RunMixedRates(tbr);
+    const scenario::Results& res = results[job++];
     mixed.AddRow({v.name, stats::Table::Num(res.AirtimeShare(1)),
                   stats::Table::Num(res.AirtimeShare(2)),
                   stats::Table::Num(res.AggregateMbps())});
@@ -84,5 +101,6 @@ int main() {
   std::printf("\nReading: with the fallback ON, the slow node's airtime reverts toward "
               "the unregulated ~0.86 - the AP queue usually holds only the throttled "
               "node's acks, so a packet-level fallback re-releases them.\n");
+  PrintSweepFooter();
   return 0;
 }

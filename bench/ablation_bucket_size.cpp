@@ -45,6 +45,32 @@ class WindowedAirtime : public mac::MediumObserver {
   std::vector<std::map<NodeId, TimeNs>> windows_;
 };
 
+// A sweep job needing more than Results: the per-window observer rides inside the job
+// and only its scalar summary comes back.
+struct BucketOutcome {
+  scenario::Results results;
+  double short_term_unfairness = 0.0;
+};
+
+BucketOutcome RunBucketCase(TimeNs bucket) {
+  scenario::ScenarioConfig config =
+      tbf::bench::StandardConfig(scenario::QdiscKind::kTbr, Sec(20));
+  config.tbr.bucket_depth = bucket;
+  config.tbr.initial_tokens = bucket / 2;
+  scenario::Wlan wlan(config);
+  wlan.AddStation(1, phy::WifiRate::k1Mbps);
+  wlan.AddStation(2, phy::WifiRate::k11Mbps);
+  wlan.AddBulkTcp(1, scenario::Direction::kDownlink);
+  wlan.AddBulkTcp(2, scenario::Direction::kDownlink);
+  wlan.BuildNow();
+  WindowedAirtime windows;
+  wlan.medium()->AddObserver(&windows);
+  BucketOutcome outcome;
+  outcome.results = wlan.Run();
+  outcome.short_term_unfairness = windows.ShortTermUnfairness(1);
+  return outcome;
+}
+
 }  // namespace
 
 int main() {
@@ -55,28 +81,26 @@ int main() {
               "paper 4.5: larger buckets allow longer bursts and worse short-term "
               "fairness; long-term shares are unaffected");
 
+  const TimeNs buckets[] = {Ms(5), Ms(20), Ms(50), Ms(200)};
+  std::vector<std::function<BucketOutcome()>> jobs;
+  for (TimeNs bucket : buckets) {
+    jobs.push_back([bucket] { return RunBucketCase(bucket); });
+  }
+  const std::vector<BucketOutcome> outcomes = RunSweep(std::move(jobs));
+
   stats::Table table({"bucket", "airtime n1", "airtime n2", "total Mbps",
                       "short-term |share-0.5|", "utilization"});
-  for (TimeNs bucket : {Ms(5), Ms(20), Ms(50), Ms(200)}) {
-    scenario::ScenarioConfig config = StandardConfig(scenario::QdiscKind::kTbr, Sec(20));
-    config.tbr.bucket_depth = bucket;
-    config.tbr.initial_tokens = bucket / 2;
-    scenario::Wlan wlan(config);
-    wlan.AddStation(1, phy::WifiRate::k1Mbps);
-    wlan.AddStation(2, phy::WifiRate::k11Mbps);
-    wlan.AddBulkTcp(1, scenario::Direction::kDownlink);
-    wlan.AddBulkTcp(2, scenario::Direction::kDownlink);
-    wlan.BuildNow();
-    WindowedAirtime windows;
-    wlan.medium()->AddObserver(&windows);
-    const scenario::Results res = wlan.Run();
+  size_t job = 0;
+  for (TimeNs bucket : buckets) {
+    const BucketOutcome& out = outcomes[job++];
     table.AddRow({std::to_string(bucket / kNsPerMs) + "ms",
-                  stats::Table::Num(res.AirtimeShare(1)),
-                  stats::Table::Num(res.AirtimeShare(2)),
-                  stats::Table::Num(res.AggregateMbps()),
-                  stats::Table::Num(windows.ShortTermUnfairness(1)),
-                  stats::Table::Num(res.utilization)});
+                  stats::Table::Num(out.results.AirtimeShare(1)),
+                  stats::Table::Num(out.results.AirtimeShare(2)),
+                  stats::Table::Num(out.results.AggregateMbps()),
+                  stats::Table::Num(out.short_term_unfairness),
+                  stats::Table::Num(out.results.utilization)});
   }
   table.Print();
+  PrintSweepFooter();
   return 0;
 }

@@ -23,19 +23,40 @@ int main() {
       {"1vs11 downlink, 15% loss on slow", 0.15, scenario::Direction::kDownlink},
   };
 
-  stats::Table table({"case", "retry info", "airtime n1(slow)", "airtime n2", "n2 Mbps",
-                      "total Mbps"});
+  std::vector<sweep::ScenarioJob> jobs;
   for (const Case& c : cases) {
     for (bool retry_info : {false, true}) {
-      scenario::ScenarioConfig config = StandardConfig(scenario::QdiscKind::kTbr, Sec(25));
-      config.tbr.use_retry_info = retry_info;
-      config.tbr.enable_rate_adjust = false;  // Isolate the estimator's effect.
-      scenario::Wlan wlan(config);
-      wlan.AddStation(1, phy::WifiRate::k1Mbps, c.per1);
-      wlan.AddStation(2, phy::WifiRate::k11Mbps);
-      wlan.AddBulkTcp(1, c.dir);
-      wlan.AddBulkTcp(2, c.dir);
-      const scenario::Results res = wlan.Run();
+      sweep::ScenarioJob job;
+      job.config = StandardConfig(scenario::QdiscKind::kTbr, Sec(25));
+      job.config.tbr.use_retry_info = retry_info;
+      job.config.tbr.enable_rate_adjust = false;  // Isolate the estimator's effect.
+      scenario::StationSpec s1;
+      s1.id = 1;
+      s1.rate = phy::WifiRate::k1Mbps;
+      s1.per = c.per1;
+      job.stations.push_back(s1);
+      scenario::StationSpec s2;
+      s2.id = 2;
+      s2.rate = phy::WifiRate::k11Mbps;
+      job.stations.push_back(s2);
+      for (NodeId id = 1; id <= 2; ++id) {
+        scenario::FlowSpec flow;
+        flow.client = id;
+        flow.direction = c.dir;
+        flow.transport = scenario::Transport::kTcp;
+        job.flows.push_back(flow);
+      }
+      jobs.push_back(std::move(job));
+    }
+  }
+  const std::vector<scenario::Results> results = RunSweepScenarios(jobs);
+
+  stats::Table table({"case", "retry info", "airtime n1(slow)", "airtime n2", "n2 Mbps",
+                      "total Mbps"});
+  size_t job = 0;
+  for (const Case& c : cases) {
+    for (bool retry_info : {false, true}) {
+      const scenario::Results& res = results[job++];
       table.AddRow({c.name, retry_info ? "yes" : "no (paper)",
                     stats::Table::Num(res.AirtimeShare(1)),
                     stats::Table::Num(res.AirtimeShare(2)),
@@ -44,5 +65,6 @@ int main() {
     }
   }
   table.Print();
+  PrintSweepFooter();
   return 0;
 }

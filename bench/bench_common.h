@@ -1,14 +1,24 @@
 // Shared helpers for the reproduction benches. Each bench binary regenerates one table or
 // figure from the paper and prints paper-reference values next to measured ones where the
 // paper reports them.
+//
+// Scenario grids are declared as sweep jobs and executed on the shared SweepRunner
+// (thread count from TBF_SWEEP_THREADS, default: hardware concurrency), so a bench's
+// wall-clock is the longest single scenario instead of the sum. Results come back in
+// submission order and are bit-identical to a serial run, so tables are deterministic.
 #ifndef TBF_BENCH_BENCH_COMMON_H_
 #define TBF_BENCH_BENCH_COMMON_H_
 
+#include <chrono>
 #include <cstdio>
+#include <functional>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "tbf/scenario/wlan.h"
 #include "tbf/stats/table.h"
+#include "tbf/sweep/sweep_runner.h"
 
 namespace tbf::bench {
 
@@ -21,16 +31,78 @@ inline scenario::ScenarioConfig StandardConfig(scenario::QdiscKind qdisc,
   return config;
 }
 
-// Two stations with one bulk TCP flow each in `dir`.
+// One pool per bench process, shared by every sweep in the binary.
+inline sweep::SweepRunner& SharedRunner() {
+  static sweep::SweepRunner runner;
+  return runner;
+}
+
+namespace internal {
+inline double g_sweep_wall_sec = 0.0;
+inline size_t g_sweep_jobs = 0;
+}  // namespace internal
+
+// Runs a batch of arbitrary jobs on the shared pool; results in submission order.
+// Accumulates the suite wall-clock metric printed by PrintSweepFooter.
+template <typename T>
+std::vector<T> RunSweep(std::vector<std::function<T()>> jobs) {
+  const auto start = std::chrono::steady_clock::now();
+  std::vector<T> results = SharedRunner().Map(std::move(jobs));
+  internal::g_sweep_wall_sec +=
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
+  internal::g_sweep_jobs += results.size();
+  return results;
+}
+
+// Declarative form for plain scenario grids; delegates to RunSweep so the suite
+// wall-clock accounting lives in one place.
+inline std::vector<scenario::Results> RunSweepScenarios(
+    const std::vector<sweep::ScenarioJob>& jobs) {
+  std::vector<std::function<scenario::Results()>> fns;
+  fns.reserve(jobs.size());
+  for (const sweep::ScenarioJob& job : jobs) {
+    fns.push_back([&job] { return sweep::RunScenarioJob(job); });
+  }
+  return RunSweep(std::move(fns));
+}
+
+// Suite wall-clock metric: total scenarios executed and the wall time the sweeps took
+// on this pool. Print once at the end of main().
+inline void PrintSweepFooter() {
+  std::printf("\n[sweep] %zu scenarios in %.2f s wall on %d threads\n",
+              internal::g_sweep_jobs, internal::g_sweep_wall_sec,
+              SharedRunner().thread_count());
+}
+
+// Two stations with one bulk TCP flow each in `dir`, as a declarative sweep job.
+inline sweep::ScenarioJob TcpPairJob(scenario::QdiscKind qdisc, phy::WifiRate r1,
+                                     phy::WifiRate r2, scenario::Direction dir,
+                                     TimeNs duration = Sec(30)) {
+  sweep::ScenarioJob job;
+  job.config = StandardConfig(qdisc, duration);
+  scenario::StationSpec s1;
+  s1.id = 1;
+  s1.rate = r1;
+  job.stations.push_back(s1);
+  scenario::StationSpec s2;
+  s2.id = 2;
+  s2.rate = r2;
+  job.stations.push_back(s2);
+  for (NodeId id = 1; id <= 2; ++id) {
+    scenario::FlowSpec flow;
+    flow.client = id;
+    flow.direction = dir;
+    flow.transport = scenario::Transport::kTcp;
+    job.flows.push_back(flow);
+  }
+  return job;
+}
+
+// Immediate-mode variant kept for single-scenario call sites and tests.
 inline scenario::Results RunTcpPair(scenario::QdiscKind qdisc, phy::WifiRate r1,
                                     phy::WifiRate r2, scenario::Direction dir,
                                     TimeNs duration = Sec(30)) {
-  scenario::Wlan wlan(StandardConfig(qdisc, duration));
-  wlan.AddStation(1, r1);
-  wlan.AddStation(2, r2);
-  wlan.AddBulkTcp(1, dir);
-  wlan.AddBulkTcp(2, dir);
-  return wlan.Run();
+  return sweep::RunScenarioJob(TcpPairJob(qdisc, r1, r2, dir, duration));
 }
 
 inline std::string PairName(phy::WifiRate r1, phy::WifiRate r2) {

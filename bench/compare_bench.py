@@ -9,6 +9,12 @@ Usage:
 
 With only --after, emits the measurement without speedup fields (trajectory snapshot).
 Schema: see bench/README.md ("tbf-bench-v1").
+
+Gate mode: --gate-against BENCH_prN.json [--max-regression 2.0] additionally compares
+this run's times against a committed trajectory file and exits non-zero when any common
+benchmark regressed by more than the factor. The tolerance is deliberately loose (2x by
+default): CI runners differ from the machines that produced the trajectory, so the gate
+only catches perf rot, not noise.
 """
 import argparse
 import json
@@ -41,12 +47,44 @@ def _to_ns(unit):
     return {"ns": 1, "us": 1e3, "ms": 1e6, "s": 1e9}[unit]
 
 
+def gate(benchmarks, gate_path, max_regression):
+    """Compares `after` times against a committed trajectory file; returns the list of
+    (name, ratio) entries exceeding max_regression."""
+    with open(gate_path) as f:
+        reference = json.load(f)
+    ref_benchmarks = reference.get("benchmarks", {})
+    offenders = []
+    checked = 0
+    for name, row in sorted(benchmarks.items()):
+        ref = ref_benchmarks.get(name)
+        if ref is None or "after" not in ref:
+            continue
+        ref_ns = ref["after"].get("real_time_ns", 0)
+        cur_ns = row["after"].get("real_time_ns", 0)
+        if ref_ns <= 0 or cur_ns <= 0:
+            continue
+        checked += 1
+        ratio = cur_ns / ref_ns
+        marker = " <-- REGRESSION" if ratio > max_regression else ""
+        print(f"  gate {name}: {cur_ns:.0f} ns vs {ref_ns:.0f} ns "
+              f"(x{ratio:.2f}){marker}")
+        if ratio > max_regression:
+            offenders.append((name, ratio))
+    print(f"gate: {checked} benchmarks compared against {gate_path} "
+          f"(tolerance x{max_regression}), {len(offenders)} regressed")
+    return offenders
+
+
 def main():
     ap = argparse.ArgumentParser()
     ap.add_argument("--baseline", help="google-benchmark JSON of the pre-change build")
     ap.add_argument("--after", required=True, help="google-benchmark JSON of this build")
     ap.add_argument("--tag", required=True, help="trajectory tag, e.g. pr1")
     ap.add_argument("--out", required=True, help="output BENCH_*.json path")
+    ap.add_argument("--gate-against",
+                    help="committed BENCH_*.json to gate against (fail on regression)")
+    ap.add_argument("--max-regression", type=float, default=2.0,
+                    help="allowed slowdown factor vs --gate-against (default 2.0)")
     args = ap.parse_args()
 
     after, context = load_medians(args.after)
@@ -79,6 +117,14 @@ def main():
         f.write("\n")
     print(f"wrote {args.out} ({len(benchmarks)} benchmarks, "
           f"{sum(1 for b in benchmarks.values() if 'speedup' in b)} with baselines)")
+
+    if args.gate_against:
+        offenders = gate(benchmarks, args.gate_against, args.max_regression)
+        if offenders:
+            for name, ratio in offenders:
+                print(f"FAIL: {name} regressed x{ratio:.2f} "
+                      f"(> x{args.max_regression})", file=sys.stderr)
+            return 1
     return 0
 
 

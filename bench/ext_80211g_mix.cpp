@@ -21,15 +21,27 @@ int main() {
       {"54g vs 11b", phy::WifiRate::k11Mbps},
       {"54g vs 1b", phy::WifiRate::k1Mbps},
   };
+  const std::pair<scenario::QdiscKind, const char*> notions[] = {
+      {scenario::QdiscKind::kFifo, "Normal"},
+      {scenario::QdiscKind::kTbr, "TBR"},
+  };
+
+  std::vector<sweep::ScenarioJob> jobs;
+  for (const Case& c : cases) {
+    for (const auto& [kind, label] : notions) {
+      // Mixed-mode timings (b-compatible slots) apply when any DSSS station is present.
+      jobs.push_back(TcpPairJob(kind, phy::WifiRate::k54Mbps, c.partner,
+                                scenario::Direction::kDownlink, Sec(20)));
+    }
+  }
+  const std::vector<scenario::Results> results = RunSweepScenarios(jobs);
 
   stats::Table table({"case", "qdisc", "n1(54g) Mbps", "n2 Mbps", "total Mbps",
                       "airtime n1"});
+  size_t job = 0;
   for (const Case& c : cases) {
-    for (const auto& [kind, label] : {std::pair{scenario::QdiscKind::kFifo, "Normal"},
-                                      std::pair{scenario::QdiscKind::kTbr, "TBR"}}) {
-      // Mixed-mode timings (b-compatible slots) apply when any DSSS station is present.
-      const scenario::Results res = RunTcpPair(kind, phy::WifiRate::k54Mbps, c.partner,
-                                               scenario::Direction::kDownlink, Sec(20));
+    for (const auto& [kind, label] : notions) {
+      const scenario::Results& res = results[job++];
       table.AddRow({c.name, label, stats::Table::Num(res.GoodputMbps(1)),
                     stats::Table::Num(res.GoodputMbps(2)),
                     stats::Table::Num(res.AggregateMbps()),
@@ -40,5 +52,6 @@ int main() {
   std::printf("\nReading: under Normal, the g client collapses toward its b partner's "
               "throughput; under TBR it keeps ~half the airtime and most of its rate "
               "advantage.\n");
+  PrintSweepFooter();
   return 0;
 }

@@ -10,16 +10,28 @@ namespace {
 using namespace tbf;
 using namespace tbf::bench;
 
-scenario::Results RunUplinkUdpMix(bool tbr, bool client_agent) {
-  scenario::ScenarioConfig config =
+sweep::ScenarioJob UplinkUdpMixJob(bool tbr, bool client_agent) {
+  sweep::ScenarioJob job;
+  job.config =
       StandardConfig(tbr ? scenario::QdiscKind::kTbr : scenario::QdiscKind::kFifo, Sec(20));
-  config.tbr.client_agent = client_agent;
-  scenario::Wlan wlan(config);
-  wlan.AddStation(1, phy::WifiRate::k1Mbps);
-  wlan.AddStation(2, phy::WifiRate::k11Mbps);
-  wlan.AddSaturatingUdp(1, scenario::Direction::kUplink);
-  wlan.AddSaturatingUdp(2, scenario::Direction::kUplink);
-  return wlan.Run();
+  job.config.tbr.client_agent = client_agent;
+  scenario::StationSpec s1;
+  s1.id = 1;
+  s1.rate = phy::WifiRate::k1Mbps;
+  job.stations.push_back(s1);
+  scenario::StationSpec s2;
+  s2.id = 2;
+  s2.rate = phy::WifiRate::k11Mbps;
+  job.stations.push_back(s2);
+  for (NodeId id = 1; id <= 2; ++id) {
+    scenario::FlowSpec flow;
+    flow.client = id;
+    flow.direction = scenario::Direction::kUplink;
+    flow.transport = scenario::Transport::kUdp;
+    flow.udp_rate = Mbps(9);  // Above any single DSSS link's capacity.
+    job.flows.push_back(flow);
+  }
+  return job;
 }
 
 }  // namespace
@@ -29,8 +41,6 @@ int main() {
               "paper 4.1: 'Cooperation from each client is only necessary if the client "
               "has uplink UDP flows that represent a significant fraction of its traffic'");
 
-  stats::Table table({"config", "n1(1M) Mbps", "n2(11M) Mbps", "total Mbps", "airtime n1",
-                      "airtime n2"});
   const struct {
     const char* name;
     bool tbr;
@@ -40,8 +50,17 @@ int main() {
       {"TBR, no client agent", true, false},
       {"TBR + client agent", true, true},
   };
+  std::vector<sweep::ScenarioJob> jobs;
   for (const auto& c : cases) {
-    const scenario::Results res = RunUplinkUdpMix(c.tbr, c.agent);
+    jobs.push_back(UplinkUdpMixJob(c.tbr, c.agent));
+  }
+  const std::vector<scenario::Results> results = RunSweepScenarios(jobs);
+
+  stats::Table table({"config", "n1(1M) Mbps", "n2(11M) Mbps", "total Mbps", "airtime n1",
+                      "airtime n2"});
+  size_t job = 0;
+  for (const auto& c : cases) {
+    const scenario::Results& res = results[job++];
     table.AddRow({c.name, stats::Table::Num(res.GoodputMbps(1)),
                   stats::Table::Num(res.GoodputMbps(2)),
                   stats::Table::Num(res.AggregateMbps()),
@@ -52,5 +71,6 @@ int main() {
   std::printf("\nReading: without the agent, a saturating uplink UDP sender at 1 Mbps "
               "ignores the AP's regulation (TBR row ~= Normal row); the pause-notification "
               "agent restores the ~50/50 airtime split.\n");
+  PrintSweepFooter();
   return 0;
 }

@@ -16,33 +16,42 @@ int main() {
 
   const int big = 1500;
   const int small = 360;
+  const std::pair<scenario::QdiscKind, const char*> qdiscs[] = {
+      {scenario::QdiscKind::kFifo, "FIFO"},
+      {scenario::QdiscKind::kDrr, "DRR"},
+      {scenario::QdiscKind::kTbr, "TBR"},
+  };
 
-  stats::Table table({"qdisc", "n1(1500B) Mbps", "n2(360B) Mbps", "airtime n1",
-                      "airtime n2", "total Mbps"});
-  for (const auto& [kind, label] : {std::pair{scenario::QdiscKind::kFifo, "FIFO"},
-                                    std::pair{scenario::QdiscKind::kDrr, "DRR"},
-                                    std::pair{scenario::QdiscKind::kTbr, "TBR"}}) {
-    scenario::ScenarioConfig config = StandardConfig(kind, Sec(20));
+  std::vector<sweep::ScenarioJob> jobs;
+  for (const auto& [kind, label] : qdiscs) {
+    sweep::ScenarioJob job;
+    job.config = StandardConfig(kind, Sec(20));
     // Both nodes saturate; disable the demand adjuster so the bench isolates the static
     // Eq. 8-10 allocations (the estimator's small-frame contention error would otherwise
     // feed the adjuster phantom excess).
-    config.tbr.enable_rate_adjust = false;
-    scenario::Wlan wlan(config);
-    wlan.AddStation(1, phy::WifiRate::k11Mbps);
-    wlan.AddStation(2, phy::WifiRate::k11Mbps);
-    scenario::FlowSpec f1;
-    f1.client = 1;
-    f1.direction = scenario::Direction::kDownlink;
-    f1.transport = scenario::Transport::kUdp;
-    f1.udp_rate = Mbps(9);
-    f1.packet_bytes = big;
-    wlan.AddFlow(f1);
-    scenario::FlowSpec f2 = f1;
-    f2.client = 2;
-    f2.packet_bytes = small;
-    f2.udp_rate = Mbps(9);
-    wlan.AddFlow(f2);
-    const scenario::Results res = wlan.Run();
+    job.config.tbr.enable_rate_adjust = false;
+    for (NodeId id = 1; id <= 2; ++id) {
+      scenario::StationSpec station;
+      station.id = id;
+      station.rate = phy::WifiRate::k11Mbps;
+      job.stations.push_back(station);
+      scenario::FlowSpec flow;
+      flow.client = id;
+      flow.direction = scenario::Direction::kDownlink;
+      flow.transport = scenario::Transport::kUdp;
+      flow.udp_rate = Mbps(9);
+      flow.packet_bytes = id == 1 ? big : small;
+      job.flows.push_back(flow);
+    }
+    jobs.push_back(std::move(job));
+  }
+  const std::vector<scenario::Results> results = RunSweepScenarios(jobs);
+
+  stats::Table table({"qdisc", "n1(1500B) Mbps", "n2(360B) Mbps", "airtime n1",
+                      "airtime n2", "total Mbps"});
+  size_t job = 0;
+  for (const auto& [kind, label] : qdiscs) {
+    const scenario::Results& res = results[job++];
     table.AddRow({label, stats::Table::Num(res.GoodputMbps(1)),
                   stats::Table::Num(res.GoodputMbps(2)),
                   stats::Table::Num(res.AirtimeShare(1)),
@@ -59,5 +68,6 @@ int main() {
   std::printf("  T(1)=%.3f T(2)=%.3f  R(1)=%.2f R(2)=%.2f Mbps (unequal in both)\n",
               rf.channel_time[0], rf.channel_time[1], rf.throughput_bps[0] / 1e6,
               rf.throughput_bps[1] / 1e6);
+  PrintSweepFooter();
   return 0;
 }

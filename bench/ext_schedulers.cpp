@@ -11,26 +11,28 @@ namespace {
 using namespace tbf;
 using namespace tbf::bench;
 
-struct Outcome {
-  scenario::Results results;
-};
-
-Outcome RunHotspot(scenario::QdiscKind kind, bool weighted) {
-  scenario::ScenarioConfig config = StandardConfig(kind, Sec(25));
-  scenario::Wlan wlan(config);
+sweep::ScenarioJob HotspotJob(scenario::QdiscKind kind, bool weighted) {
+  sweep::ScenarioJob job;
+  job.config = StandardConfig(kind, Sec(25));
   const phy::WifiRate rates[] = {phy::WifiRate::k1Mbps, phy::WifiRate::k2Mbps,
                                  phy::WifiRate::k5_5Mbps, phy::WifiRate::k11Mbps,
                                  phy::WifiRate::k11Mbps};
   for (NodeId id = 1; id <= 5; ++id) {
-    wlan.AddStation(id, rates[id - 1]);
-    wlan.AddBulkTcp(id, scenario::Direction::kDownlink);
+    scenario::StationSpec station;
+    station.id = id;
+    station.rate = rates[id - 1];
+    job.stations.push_back(station);
+    scenario::FlowSpec flow;
+    flow.client = id;
+    flow.direction = scenario::Direction::kDownlink;
+    flow.transport = scenario::Transport::kTcp;
+    job.flows.push_back(flow);
   }
   if (weighted) {
-    wlan.BuildNow();
-    // Tenant 5 pays for a double share.
-    wlan.tbr()->SetWeight(5, 2.0);
+    // Tenant 5 pays for a double share; needs the live TBR, hence the configure hook.
+    job.configure = [](scenario::Wlan& wlan) { wlan.tbr()->SetWeight(5, 2.0); };
   }
-  return Outcome{wlan.Run()};
+  return job;
 }
 
 }  // namespace
@@ -40,8 +42,6 @@ int main() {
               "synthesis of paper Sections 2 and 4: time fairness maximizes aggregate "
               "throughput; throughput fairness maximizes goodput equality");
 
-  stats::Table table({"scheduler", "n1(1M)", "n2(2M)", "n3(5.5M)", "n4(11M)", "n5(11M)",
-                      "total Mbps", "Jain(goodput)", "Jain(airtime)"});
   const struct {
     const char* name;
     scenario::QdiscKind kind;
@@ -54,21 +54,31 @@ int main() {
       {"TBR", scenario::QdiscKind::kTbr, false},
       {"TBR w=2 on n5", scenario::QdiscKind::kTbr, true},
   };
+  std::vector<sweep::ScenarioJob> jobs;
   for (const auto& c : cases) {
-    const Outcome out = RunHotspot(c.kind, c.weighted);
+    jobs.push_back(HotspotJob(c.kind, c.weighted));
+  }
+  const std::vector<scenario::Results> results = RunSweepScenarios(jobs);
+
+  stats::Table table({"scheduler", "n1(1M)", "n2(2M)", "n3(5.5M)", "n4(11M)", "n5(11M)",
+                      "total Mbps", "Jain(goodput)", "Jain(airtime)"});
+  size_t job = 0;
+  for (const auto& c : cases) {
+    const scenario::Results& res = results[job++];
     std::vector<double> goodputs;
     std::vector<double> airtimes;
     std::vector<std::string> row = {c.name};
     for (NodeId id = 1; id <= 5; ++id) {
-      goodputs.push_back(out.results.GoodputMbps(id));
-      airtimes.push_back(out.results.AirtimeShare(id));
-      row.push_back(stats::Table::Num(out.results.GoodputMbps(id), 2));
+      goodputs.push_back(res.GoodputMbps(id));
+      airtimes.push_back(res.AirtimeShare(id));
+      row.push_back(stats::Table::Num(res.GoodputMbps(id), 2));
     }
-    row.push_back(stats::Table::Num(out.results.AggregateMbps(), 2));
+    row.push_back(stats::Table::Num(res.AggregateMbps(), 2));
     row.push_back(stats::Table::Num(stats::JainIndex(goodputs)));
     row.push_back(stats::Table::Num(stats::JainIndex(airtimes)));
     table.AddRow(row);
   }
   table.Print();
+  PrintSweepFooter();
   return 0;
 }

@@ -10,22 +10,24 @@ int main() {
               "paper: 11vs11 total 5.08 Mbps; 11vs1 total 1.34 Mbps, equal throughputs, "
               "slow node ~6.4x the fast node's channel time");
 
+  const std::vector<sweep::ScenarioJob> jobs = {
+      TcpPairJob(scenario::QdiscKind::kFifo, phy::WifiRate::k11Mbps,
+                 phy::WifiRate::k11Mbps, scenario::Direction::kUplink),
+      TcpPairJob(scenario::QdiscKind::kFifo, phy::WifiRate::k11Mbps,
+                 phy::WifiRate::k1Mbps, scenario::Direction::kUplink),
+  };
+  const std::vector<scenario::Results> res = RunSweepScenarios(jobs);
+  const scenario::Results& same = res[0];
+  const scenario::Results& mixed = res[1];
+
   stats::Table table({"case", "n1 Mbps", "n2 Mbps", "total Mbps", "airtime n1", "airtime n2",
                       "air ratio"});
-
-  const scenario::Results same = RunTcpPair(scenario::QdiscKind::kFifo,
-                                            phy::WifiRate::k11Mbps, phy::WifiRate::k11Mbps,
-                                            scenario::Direction::kUplink);
   table.AddRow({"11vs11", stats::Table::Num(same.GoodputMbps(1)),
                 stats::Table::Num(same.GoodputMbps(2)),
                 stats::Table::Num(same.AggregateMbps()),
                 stats::Table::Num(same.AirtimeShare(1)),
                 stats::Table::Num(same.AirtimeShare(2)),
                 stats::Table::Ratio(same.AirtimeShare(1) / same.AirtimeShare(2))});
-
-  const scenario::Results mixed = RunTcpPair(scenario::QdiscKind::kFifo,
-                                             phy::WifiRate::k11Mbps, phy::WifiRate::k1Mbps,
-                                             scenario::Direction::kUplink);
   table.AddRow({"11vs1", stats::Table::Num(mixed.GoodputMbps(1)),
                 stats::Table::Num(mixed.GoodputMbps(2)),
                 stats::Table::Num(mixed.AggregateMbps()),
@@ -38,5 +40,6 @@ int main() {
   std::printf("\n11vs1 total %.2f Mbps vs naive expectation %.2f Mbps (paper: 1.34 vs 2.93);"
               "\nthe faster node's throughput is cut ~%.1fx by the slow competitor.\n",
               mixed.AggregateMbps(), naive, same.GoodputMbps(1) / mixed.GoodputMbps(1));
+  PrintSweepFooter();
   return 0;
 }

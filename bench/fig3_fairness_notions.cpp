@@ -16,15 +16,26 @@ int main() {
       {phy::WifiRate::k1Mbps, phy::WifiRate::k11Mbps},
       {phy::WifiRate::k1Mbps, phy::WifiRate::k1Mbps},
   };
+  const std::pair<scenario::QdiscKind, const char*> notions[] = {
+      {scenario::QdiscKind::kFifo, "RF"},
+      {scenario::QdiscKind::kTbr, "TF"},
+  };
+
+  // The 3x2 grid as one sweep, rows consumed in submission order.
+  std::vector<sweep::ScenarioJob> jobs;
+  for (const auto& [r1, r2] : cases) {
+    for (const auto& [kind, label] : notions) {
+      jobs.push_back(TcpPairJob(kind, r1, r2, scenario::Direction::kUplink));
+    }
+  }
+  const std::vector<scenario::Results> results = RunSweepScenarios(jobs);
 
   stats::Table table({"case", "notion", "n1 Mbps", "n2 Mbps", "total Mbps", "airtime n1",
                       "airtime n2"});
+  size_t job = 0;
   for (const auto& [r1, r2] : cases) {
-    for (const auto& [kind, label] :
-         {std::pair{scenario::QdiscKind::kFifo, "RF"},
-          std::pair{scenario::QdiscKind::kTbr, "TF"}}) {
-      const scenario::Results res =
-          RunTcpPair(kind, r1, r2, scenario::Direction::kUplink);
+    for (const auto& [kind, label] : notions) {
+      const scenario::Results& res = results[job++];
       table.AddRow({PairName(r1, r2), label, stats::Table::Num(res.GoodputMbps(1)),
                     stats::Table::Num(res.GoodputMbps(2)),
                     stats::Table::Num(res.AggregateMbps()),
@@ -35,5 +46,6 @@ int main() {
   table.Print();
   std::printf("\nBaseline property check: n1(1Mbps) under TF achieves ~the same rate in "
               "1vs11 as in 1vs1 (paper Section 2.1).\n");
+  PrintSweepFooter();
   return 0;
 }

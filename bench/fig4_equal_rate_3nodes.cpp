@@ -11,24 +11,43 @@ int main() {
               "paper Fig. 4: roughly equal per-node throughput; TCP < UDP; uplink total > "
               "downlink total");
 
-  stats::Table table({"workload", "n1 Mbps", "n2 Mbps", "n3 Mbps", "total Mbps"});
-  for (const auto& [transport, tname] : {std::pair{scenario::Transport::kUdp, "UDP"},
-                                         std::pair{scenario::Transport::kTcp, "TCP"}}) {
-    for (const auto& [dir, dname] :
-         {std::pair{scenario::Direction::kDownlink, "Down"},
-          std::pair{scenario::Direction::kUplink, "Up"}}) {
+  const std::pair<scenario::Transport, const char*> transports[] = {
+      {scenario::Transport::kUdp, "UDP"},
+      {scenario::Transport::kTcp, "TCP"},
+  };
+  const std::pair<scenario::Direction, const char*> directions[] = {
+      {scenario::Direction::kDownlink, "Down"},
+      {scenario::Direction::kUplink, "Up"},
+  };
+
+  std::vector<sweep::ScenarioJob> jobs;
+  for (const auto& [transport, tname] : transports) {
+    for (const auto& [dir, dname] : directions) {
       // The paper attributes downlink equality to the AP's round-robin queueing.
-      scenario::Wlan wlan(StandardConfig(scenario::QdiscKind::kRoundRobin, Sec(20)));
+      sweep::ScenarioJob job;
+      job.config = StandardConfig(scenario::QdiscKind::kRoundRobin, Sec(20));
       for (NodeId id = 1; id <= 3; ++id) {
-        wlan.AddStation(id, phy::WifiRate::k11Mbps);
+        scenario::StationSpec station;
+        station.id = id;
+        station.rate = phy::WifiRate::k11Mbps;
+        job.stations.push_back(station);
         scenario::FlowSpec spec;
         spec.client = id;
         spec.direction = dir;
         spec.transport = transport;
         spec.udp_rate = Mbps(9);
-        wlan.AddFlow(spec);
+        job.flows.push_back(spec);
       }
-      const scenario::Results res = wlan.Run();
+      jobs.push_back(std::move(job));
+    }
+  }
+  const std::vector<scenario::Results> results = RunSweepScenarios(jobs);
+
+  stats::Table table({"workload", "n1 Mbps", "n2 Mbps", "n3 Mbps", "total Mbps"});
+  size_t job = 0;
+  for (const auto& [transport, tname] : transports) {
+    for (const auto& [dir, dname] : directions) {
+      const scenario::Results& res = results[job++];
       table.AddRow({std::string(tname) + "_" + dname, stats::Table::Num(res.GoodputMbps(1)),
                     stats::Table::Num(res.GoodputMbps(2)),
                     stats::Table::Num(res.GoodputMbps(3)),
@@ -36,5 +55,6 @@ int main() {
     }
   }
   table.Print();
+  PrintSweepFooter();
   return 0;
 }

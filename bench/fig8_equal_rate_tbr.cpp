@@ -12,16 +12,30 @@ int main() {
 
   const phy::WifiRate rates[] = {phy::WifiRate::k1Mbps, phy::WifiRate::k2Mbps,
                                  phy::WifiRate::k5_5Mbps, phy::WifiRate::k11Mbps};
+  const std::pair<scenario::Direction, const char*> directions[] = {
+      {scenario::Direction::kDownlink, "downlink"},
+      {scenario::Direction::kUplink, "uplink"},
+  };
 
-  for (const auto& [dir, dname] : {std::pair{scenario::Direction::kDownlink, "downlink"},
-                                   std::pair{scenario::Direction::kUplink, "uplink"}}) {
+  // Whole 2x4x2 grid in one sweep: per (direction, rate), Normal then TBR.
+  std::vector<sweep::ScenarioJob> jobs;
+  for (const auto& [dir, dname] : directions) {
+    for (phy::WifiRate r : rates) {
+      jobs.push_back(TcpPairJob(scenario::QdiscKind::kFifo, r, r, dir));
+      jobs.push_back(TcpPairJob(scenario::QdiscKind::kTbr, r, r, dir));
+    }
+  }
+  const std::vector<scenario::Results> results = RunSweepScenarios(jobs);
+
+  size_t job = 0;
+  for (const auto& [dir, dname] : directions) {
     std::printf("--- %s ---\n", dname);
     stats::Table table(
         {"case", "Normal n1", "Normal n2", "Normal total", "TBR n1", "TBR n2", "TBR total",
          "TBR/Normal"});
     for (phy::WifiRate r : rates) {
-      const scenario::Results normal = RunTcpPair(scenario::QdiscKind::kFifo, r, r, dir);
-      const scenario::Results tbr = RunTcpPair(scenario::QdiscKind::kTbr, r, r, dir);
+      const scenario::Results& normal = results[job++];
+      const scenario::Results& tbr = results[job++];
       table.AddRow({PairName(r, r), stats::Table::Num(normal.GoodputMbps(1)),
                     stats::Table::Num(normal.GoodputMbps(2)),
                     stats::Table::Num(normal.AggregateMbps()),
@@ -32,5 +46,6 @@ int main() {
     }
     table.Print();
   }
+  PrintSweepFooter();
   return 0;
 }

@@ -17,9 +17,25 @@ int main() {
   const auto& betas = model::PaperTable2Baselines();
   const phy::WifiRate slow_rates[] = {phy::WifiRate::k1Mbps, phy::WifiRate::k2Mbps,
                                       phy::WifiRate::k5_5Mbps};
+  const std::pair<scenario::Direction, const char*> directions[] = {
+      {scenario::Direction::kDownlink, "downlink"},
+      {scenario::Direction::kUplink, "uplink"},
+  };
 
-  for (const auto& [dir, dname] : {std::pair{scenario::Direction::kDownlink, "downlink"},
-                                   std::pair{scenario::Direction::kUplink, "uplink"}}) {
+  // Per (direction, slow rate): Normal then TBR.
+  std::vector<sweep::ScenarioJob> jobs;
+  for (const auto& [dir, dname] : directions) {
+    for (phy::WifiRate slow : slow_rates) {
+      jobs.push_back(TcpPairJob(scenario::QdiscKind::kFifo, slow, phy::WifiRate::k11Mbps,
+                                dir));
+      jobs.push_back(TcpPairJob(scenario::QdiscKind::kTbr, slow, phy::WifiRate::k11Mbps,
+                                dir));
+    }
+  }
+  const std::vector<scenario::Results> results = RunSweepScenarios(jobs);
+
+  size_t job = 0;
+  for (const auto& [dir, dname] : directions) {
     std::printf("--- %s ---\n", dname);
     stats::Table table({"case", "Eq6 total", "Normal total", "TBR total", "Eq12 total",
                         "TBR n1(slow)", "TBR n2(11)", "gain"});
@@ -30,10 +46,8 @@ int main() {
       const double eq6 = model::ThroughputFairAllocation(nodes).total_bps / 1e6;
       const double eq12 = model::TimeFairAllocation(nodes).total_bps / 1e6;
 
-      const scenario::Results normal =
-          RunTcpPair(scenario::QdiscKind::kFifo, slow, phy::WifiRate::k11Mbps, dir);
-      const scenario::Results tbr =
-          RunTcpPair(scenario::QdiscKind::kTbr, slow, phy::WifiRate::k11Mbps, dir);
+      const scenario::Results& normal = results[job++];
+      const scenario::Results& tbr = results[job++];
 
       table.AddRow({PairName(slow, phy::WifiRate::k11Mbps), stats::Table::Num(eq6),
                     stats::Table::Num(normal.AggregateMbps()),
@@ -45,5 +59,6 @@ int main() {
     }
     table.Print();
   }
+  PrintSweepFooter();
   return 0;
 }

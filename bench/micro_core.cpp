@@ -22,6 +22,16 @@
 #include "tbf/scenario/wlan.h"
 #include "tbf/sim/simulator.h"
 
+// The sweep-runner suite benchmark only exists once the sweep subsystem landed; this
+// probe keeps the file buildable against the pre-sweep library for the BENCH_*.json
+// baseline protocol (bench/README.md).
+#if defined(__has_include)
+#if __has_include("tbf/sweep/sweep_runner.h")
+#define TBF_HAVE_SWEEP 1
+#include "tbf/sweep/sweep_runner.h"
+#endif
+#endif
+
 namespace {
 
 using namespace tbf;
@@ -143,6 +153,26 @@ void BM_DcfSaturatedSecond(benchmark::State& state) {
 }
 BENCHMARK(BM_DcfSaturatedSecond)->Unit(benchmark::kMillisecond);
 
+void BM_TcpUplinkSecond(benchmark::State& state) {
+  // TCP-timer-heavy workload: 8 saturated uplink TCP flows. Every returning ack re-arms
+  // the sender's RTO and every data segment touches the receiver's delayed-ack timer,
+  // so this bounds the cost of TCP timer management (lazy deadlines vs cancel/reschedule
+  // churn into the timing wheel's overflow heap).
+  for (auto _ : state) {
+    scenario::ScenarioConfig config;
+    config.warmup = 0;
+    config.duration = Sec(1);
+    scenario::Wlan wlan(config);
+    for (NodeId id = 1; id <= 8; ++id) {
+      wlan.AddStation(id, phy::WifiRate::k11Mbps);
+      wlan.AddBulkTcp(id, scenario::Direction::kUplink);
+    }
+    benchmark::DoNotOptimize(wlan.Run().aggregate_bps);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_TcpUplinkSecond)->Unit(benchmark::kMillisecond);
+
 void BM_ManyStationCell(benchmark::State& state) {
   // Wall time per simulated second of a large TBR cell with mixed rates and saturated
   // downlink TCP to every station - the scenario-diversity scaling check. Reported
@@ -165,6 +195,47 @@ void BM_ManyStationCell(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations());
 }
 BENCHMARK(BM_ManyStationCell)->Arg(64)->Arg(256)->Unit(benchmark::kMillisecond);
+
+#ifdef TBF_HAVE_SWEEP
+void BM_ScenarioSweep(benchmark::State& state) {
+  // Wall-clock of a representative 8-scenario figure/table grid on an N-thread pool.
+  // Arg(1) is the serial reference; the per-iteration real time IS the suite wall-clock
+  // metric recorded in the BENCH_*.json trajectory.
+  const int threads = static_cast<int>(state.range(0));
+  static constexpr phy::WifiRate kPairRates[] = {
+      phy::WifiRate::k1Mbps, phy::WifiRate::k2Mbps, phy::WifiRate::k5_5Mbps,
+      phy::WifiRate::k11Mbps};
+  std::vector<tbf::sweep::ScenarioJob> jobs;
+  for (phy::WifiRate rate : kPairRates) {
+    for (scenario::QdiscKind qdisc :
+         {scenario::QdiscKind::kFifo, scenario::QdiscKind::kTbr}) {
+      tbf::sweep::ScenarioJob job;
+      job.config.qdisc = qdisc;
+      job.config.warmup = 0;
+      job.config.duration = Sec(1);
+      for (NodeId id = 1; id <= 2; ++id) {
+        scenario::StationSpec station;
+        station.id = id;
+        station.rate = id == 1 ? rate : phy::WifiRate::k11Mbps;
+        job.stations.push_back(station);
+        scenario::FlowSpec flow;
+        flow.client = id;
+        flow.direction = scenario::Direction::kUplink;
+        flow.transport = scenario::Transport::kTcp;
+        job.flows.push_back(flow);
+      }
+      jobs.push_back(std::move(job));
+    }
+  }
+  tbf::sweep::SweepRunner runner(threads);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(runner.RunScenarios(jobs));
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<int64_t>(jobs.size()));
+}
+BENCHMARK(BM_ScenarioSweep)->Arg(1)->Arg(2)->Arg(4)->UseRealTime()
+    ->Unit(benchmark::kMillisecond);
+#endif  // TBF_HAVE_SWEEP
 
 void BM_FairnessModelAllocation(benchmark::State& state) {
   const int n = static_cast<int>(state.range(0));

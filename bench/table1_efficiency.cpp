@@ -19,6 +19,35 @@ int main() {
   const double beta1 = betas.at(phy::WifiRate::k1Mbps);
   const double beta11 = betas.at(phy::WifiRate::k11Mbps);
 
+  // The live cross-check pair runs as one sweep (both qdiscs in parallel).
+  const std::pair<scenario::QdiscKind, const char*> notions[] = {
+      {scenario::QdiscKind::kFifo, "Exp-Normal(RF)"},
+      {scenario::QdiscKind::kTbr, "Exp-TBR(TF)"},
+  };
+  std::vector<sweep::ScenarioJob> jobs;
+  for (const auto& [kind, name] : notions) {
+    sweep::ScenarioJob live_job;
+    live_job.config = StandardConfig(kind, Sec(120));
+    live_job.config.warmup = 0;  // Task timing is measured from t=0.
+    scenario::StationSpec s1;
+    s1.id = 1;
+    s1.rate = phy::WifiRate::k1Mbps;
+    live_job.stations.push_back(s1);
+    scenario::StationSpec s2;
+    s2.id = 2;
+    s2.rate = phy::WifiRate::k11Mbps;
+    live_job.stations.push_back(s2);
+    for (NodeId id = 1; id <= 2; ++id) {
+      scenario::FlowSpec flow;
+      flow.client = id;
+      flow.direction = scenario::Direction::kUplink;
+      flow.transport = scenario::Transport::kTcp;
+      flow.task_bytes = 4'000'000;
+      live_job.flows.push_back(flow);
+    }
+    jobs.push_back(std::move(live_job));
+  }
+
   // Task model: equal 4 MB tasks on a 1 Mbps and an 11 Mbps node.
   const std::vector<model::Task> tasks = {{beta1, 4e6, 1.0}, {beta11, 4e6, 1.0}};
   const model::TaskOutcome rf = model::RunTaskModel(tasks, model::FairnessNotion::kThroughputFair);
@@ -49,21 +78,13 @@ int main() {
   table.Print();
 
   // Live cross-check: two finite uplink TCP transfers through the simulated WLAN.
+  const std::vector<scenario::Results> results = RunSweepScenarios(jobs);
   std::printf("\nLive task-model cross-check (4 MB tasks, uplink TCP):\n");
   stats::Table live({"config", "t1 done s (1M)", "t2 done s (11M)", "AvgTaskTime",
                      "FinalTaskTime"});
-  for (const auto& [kind, name] : {std::pair{scenario::QdiscKind::kFifo, "Exp-Normal(RF)"},
-                                   std::pair{scenario::QdiscKind::kTbr, "Exp-TBR(TF)"}}) {
-    scenario::ScenarioConfig config = StandardConfig(kind, Sec(120));
-    config.warmup = 0;  // Task timing is measured from t=0.
-    scenario::Wlan wlan(config);
-    wlan.AddStation(1, phy::WifiRate::k1Mbps);
-    wlan.AddStation(2, phy::WifiRate::k11Mbps);
-    auto& f1 = wlan.AddBulkTcp(1, scenario::Direction::kUplink);
-    f1.task_bytes = 4'000'000;
-    auto& f2 = wlan.AddBulkTcp(2, scenario::Direction::kUplink);
-    f2.task_bytes = 4'000'000;
-    const scenario::Results res = wlan.Run();
+  size_t job = 0;
+  for (const auto& [kind, name] : notions) {
+    const scenario::Results& res = results[job++];
     double t1 = -1;
     double t2 = -1;
     for (const auto& fr : res.flows) {
@@ -74,5 +95,6 @@ int main() {
                  stats::Table::Num(std::max(t1, t2), 1)});
   }
   live.Print();
+  PrintSweepFooter();
   return 0;
 }

@@ -12,12 +12,19 @@ int main() {
   PrintHeader("Table 2 - baseline throughput beta(d, 1500B, n=2)",
               "paper Table 2: 11 -> 5.189, 5.5 -> 3.327, 2 -> 1.493, 1 -> 0.806 Mbps");
 
+  std::vector<sweep::ScenarioJob> jobs;
+  for (phy::WifiRate r : phy::DsssRates()) {
+    jobs.push_back(TcpPairJob(scenario::QdiscKind::kFifo, r, r,
+                              scenario::Direction::kUplink));
+  }
+  const std::vector<scenario::Results> results = RunSweepScenarios(jobs);
+
   stats::Table table({"rate", "paper Mbps", "simulated Mbps", "sim/paper", "analytic Mbps",
                       "analytic/paper"});
+  size_t job = 0;
   for (phy::WifiRate r : phy::DsssRates()) {
     const double paper = model::PaperTable2Baselines().at(r) / 1e6;
-    const scenario::Results res = RunTcpPair(scenario::QdiscKind::kFifo, r, r,
-                                             scenario::Direction::kUplink);
+    const scenario::Results& res = results[job++];
     const double analytic = model::AnalyticTcpBaseline(r) / 1e6;
     table.AddRow({std::string(phy::RateName(r)), stats::Table::Num(paper),
                   stats::Table::Num(res.AggregateMbps()),
@@ -25,5 +32,6 @@ int main() {
                   stats::Table::Num(analytic), stats::Table::Ratio(analytic / paper)});
   }
   table.Print();
+  PrintSweepFooter();
   return 0;
 }

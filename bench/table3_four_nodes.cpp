@@ -17,6 +17,29 @@ int main() {
   const auto& betas = model::PaperTable2Baselines();
   const phy::WifiRate rates[] = {phy::WifiRate::k1Mbps, phy::WifiRate::k2Mbps,
                                  phy::WifiRate::k11Mbps, phy::WifiRate::k11Mbps};
+  const std::pair<scenario::QdiscKind, const char*> notions[] = {
+      {scenario::QdiscKind::kFifo, "Exp-Normal"},
+      {scenario::QdiscKind::kTbr, "Exp-TBR"},
+  };
+
+  // The live FIFO/TBR pair runs as one sweep (both qdiscs in parallel).
+  std::vector<sweep::ScenarioJob> jobs;
+  for (const auto& [kind, name] : notions) {
+    sweep::ScenarioJob job;
+    job.config = StandardConfig(kind);
+    for (NodeId id = 1; id <= 4; ++id) {
+      scenario::StationSpec station;
+      station.id = id;
+      station.rate = rates[id - 1];
+      job.stations.push_back(station);
+      scenario::FlowSpec flow;
+      flow.client = id;
+      flow.direction = scenario::Direction::kDownlink;
+      flow.transport = scenario::Transport::kTcp;
+      job.flows.push_back(flow);
+    }
+    jobs.push_back(std::move(job));
+  }
 
   std::vector<model::NodeModel> nodes;
   for (phy::WifiRate r : rates) {
@@ -41,21 +64,18 @@ int main() {
   std::printf("TF/RF aggregate gain: %s (paper: +82%%)\n\n",
               stats::Table::PercentDelta(model::TimeFairGain(nodes)).c_str());
 
+  const std::vector<scenario::Results> results = RunSweepScenarios(jobs);
   std::printf("Live simulation (downlink TCP, FIFO = RF vs TBR = TF):\n");
   stats::Table sim({"notion", "R(n1,1M)", "R(n2,2M)", "R(n3,11M)", "R(n4,11M)", "total"});
-  for (const auto& [kind, name] : {std::pair{scenario::QdiscKind::kFifo, "Exp-Normal"},
-                                   std::pair{scenario::QdiscKind::kTbr, "Exp-TBR"}}) {
-    scenario::Wlan wlan(StandardConfig(kind));
-    for (NodeId id = 1; id <= 4; ++id) {
-      wlan.AddStation(id, rates[id - 1]);
-      wlan.AddBulkTcp(id, scenario::Direction::kDownlink);
-    }
-    const scenario::Results res = wlan.Run();
+  size_t job = 0;
+  for (const auto& [kind, name] : notions) {
+    const scenario::Results& res = results[job++];
     sim.AddRow({name, stats::Table::Num(res.GoodputMbps(1)),
                 stats::Table::Num(res.GoodputMbps(2)), stats::Table::Num(res.GoodputMbps(3)),
                 stats::Table::Num(res.GoodputMbps(4)),
                 stats::Table::Num(res.AggregateMbps())});
   }
   sim.Print();
+  PrintSweepFooter();
   return 0;
 }

@@ -11,24 +11,44 @@ int main() {
               "paper Table 4: Exp-Normal n1 2.943 / n2 2.128 (total 5.071); Exp-TBR n1 "
               "2.954 / n2 2.119 (total 5.061) - no significant difference");
 
+  const std::pair<scenario::QdiscKind, const char*> notions[] = {
+      {scenario::QdiscKind::kFifo, "Exp-Normal"},
+      {scenario::QdiscKind::kTbr, "Exp-TBR"},
+  };
+  std::vector<sweep::ScenarioJob> jobs;
+  for (const auto& [kind, name] : notions) {
+    sweep::ScenarioJob job;
+    job.config = StandardConfig(kind, Sec(30));
+    job.config.warmup = Sec(8);  // Let ADJUSTRATEEVENT converge before measuring.
+    for (NodeId id = 1; id <= 2; ++id) {
+      scenario::StationSpec station;
+      station.id = id;
+      station.rate = phy::WifiRate::k11Mbps;
+      job.stations.push_back(station);
+      scenario::FlowSpec flow;
+      flow.client = id;
+      flow.direction = scenario::Direction::kUplink;
+      flow.transport = scenario::Transport::kTcp;
+      if (id == 2) {
+        flow.app_limit_bps = Mbps(2.1);
+      }
+      job.flows.push_back(flow);
+    }
+    jobs.push_back(std::move(job));
+  }
+  const std::vector<scenario::Results> results = RunSweepScenarios(jobs);
+
   stats::Table table({"config", "n1 Mbps (greedy)", "n2 Mbps (2.1M app)", "total Mbps",
                       "utilization"});
-  for (const auto& [kind, name] : {std::pair{scenario::QdiscKind::kFifo, "Exp-Normal"},
-                                   std::pair{scenario::QdiscKind::kTbr, "Exp-TBR"}}) {
-    scenario::ScenarioConfig config = StandardConfig(kind, Sec(30));
-    config.warmup = Sec(8);  // Let ADJUSTRATEEVENT converge before measuring.
-    scenario::Wlan wlan(config);
-    wlan.AddStation(1, phy::WifiRate::k11Mbps);
-    wlan.AddStation(2, phy::WifiRate::k11Mbps);
-    wlan.AddBulkTcp(1, scenario::Direction::kUplink);
-    auto& f2 = wlan.AddBulkTcp(2, scenario::Direction::kUplink);
-    f2.app_limit_bps = Mbps(2.1);
-    const scenario::Results res = wlan.Run();
+  size_t job = 0;
+  for (const auto& [kind, name] : notions) {
+    const scenario::Results& res = results[job++];
     table.AddRow({name, stats::Table::Num(res.GoodputMbps(1), 4),
                   stats::Table::Num(res.GoodputMbps(2), 4),
                   stats::Table::Num(res.AggregateMbps(), 4),
                   stats::Table::Num(res.utilization)});
   }
   table.Print();
+  PrintSweepFooter();
   return 0;
 }

@@ -23,14 +23,28 @@ void Medium::SyncIfs(DcfEntity* entity) {
 
 void Medium::EnterContention(DcfEntity* entity) {
   SyncIfs(entity);
-  if (entity->contender_index_ < 0) {
+  const bool added = entity->contender_index_ < 0;
+  if (added) {
     entity->contender_index_ = static_cast<int>(contenders_.size());
     contenders_.push_back(entity);
   }
   entity->in_contention_ = true;
-  if (!busy_) {
-    ScheduleAccessDecision();
+  if (busy_) {
+    return;  // FinishExchange rebuilds the deadline cache over all contenders.
   }
+  if (added) {
+    // O(1) cache maintenance: a newcomer can only lower the earliest deadline.
+    const TimeNs t = entity->AccessTime(idle_start_, timings_.slot);
+    if (contenders_.size() == 1) {
+      cached_earliest_ = t;
+      cached_min_ = entity;
+      earliest_valid_ = true;
+    } else if (earliest_valid_ && t < cached_earliest_) {
+      cached_earliest_ = t;
+      cached_min_ = entity;
+    }
+  }
+  ScheduleAccessDecision();
 }
 
 void Medium::RemoveContender(DcfEntity* entity) {
@@ -43,6 +57,11 @@ void Medium::RemoveContender(DcfEntity* entity) {
   last->contender_index_ = index;
   contenders_.pop_back();
   entity->contender_index_ = -1;
+  if (entity == cached_min_) {
+    // The min holder left; recompute lazily on the next ScheduleAccessDecision.
+    earliest_valid_ = false;
+    cached_min_ = nullptr;
+  }
 }
 
 void Medium::LeaveContention(DcfEntity* entity) {
@@ -61,26 +80,42 @@ NodeId Medium::OwnerOf(const MacFrame& frame) {
 }
 
 void Medium::ScheduleAccessDecision() {
-  if (access_event_ != sim::kInvalidEventId) {
-    sim_->Cancel(access_event_);
-    access_event_ = sim::kInvalidEventId;
-  }
   if (busy_ || contenders_.empty()) {
+    if (access_event_ != sim::kInvalidEventId) {
+      sim_->Cancel(access_event_);
+      access_event_ = sim::kInvalidEventId;
+    }
     return;
   }
-  TimeNs earliest = 0;
-  bool found = false;
-  for (DcfEntity* e : contenders_) {
-    const TimeNs t = e->AccessTime(idle_start_, timings_.slot);
-    if (!found || t < earliest) {
-      earliest = t;
-      found = true;
+  if (!earliest_valid_) {
+    // Fallback full scan - only after the cached min holder left contention (or a
+    // stale access instant found no winners with the cache cold).
+    ++deadline_rescans_;
+    TimeNs earliest = 0;
+    DcfEntity* min_entity = nullptr;
+    for (DcfEntity* e : contenders_) {
+      const TimeNs t = e->AccessTime(idle_start_, timings_.slot);
+      if (min_entity == nullptr || t < earliest) {
+        earliest = t;
+        min_entity = e;
+      }
     }
+    cached_earliest_ = earliest;
+    cached_min_ = min_entity;
+    earliest_valid_ = true;
   }
-  if (earliest < sim_->Now()) {
-    earliest = sim_->Now();
+  const TimeNs at = std::max(cached_earliest_, sim_->Now());
+  if (access_event_ != sim::kInvalidEventId) {
+    if (at == scheduled_access_at_) {
+      // The recomputed deadline matches the pending event; skip the cancel+schedule
+      // churn entirely.
+      ++access_reschedules_skipped_;
+      return;
+    }
+    sim_->Cancel(access_event_);
   }
-  access_event_ = sim_->ScheduleAt(earliest, [this] {
+  scheduled_access_at_ = at;
+  access_event_ = sim_->ScheduleAt(at, [this] {
     access_event_ = sim::kInvalidEventId;
     OnAccessInstant();
   });
@@ -92,15 +127,27 @@ void Medium::OnAccessInstant() {
   }
   const TimeNs now = sim_->Now();
   winners_.clear();
+  TimeNs next_earliest = 0;
+  DcfEntity* next_min = nullptr;
   for (DcfEntity* e : contenders_) {
     if (e->AccessTime(idle_start_, timings_.slot) <= now) {
       winners_.push_back(e);
     } else {
       // Non-winners consume the idle slots that elapsed while they counted down.
       e->ConsumeSlots(e->SlotsElapsed(idle_start_, timings_.slot, now));
+      // Fold the post-consume min into this classification pass so the no-winner
+      // path below needs no second scan.
+      const TimeNs t = e->AccessTime(idle_start_, timings_.slot);
+      if (next_min == nullptr || t < next_earliest) {
+        next_earliest = t;
+        next_min = e;
+      }
     }
   }
   if (winners_.empty()) {
+    cached_earliest_ = next_earliest;
+    cached_min_ = next_min;
+    earliest_valid_ = next_min != nullptr;
     ScheduleAccessDecision();
     return;
   }
@@ -222,11 +269,23 @@ void Medium::FinishExchange() {
   // enter contention, so a cell full of idle stations pays nothing per exchange.
   ++ifs_epoch_;
   default_ifs_ = exchange_corrupted_ ? timings_.Eifs() : timings_.Difs();
+  // The deadline cache is rebuilt inside the IFS loop the settle already runs, so the
+  // subsequent ScheduleAccessDecision is O(1) instead of a second full scan.
+  TimeNs earliest = 0;
+  DcfEntity* min_entity = nullptr;
   for (DcfEntity* c : contenders_) {
     c->next_ifs_ = default_ifs_;
     c->ifs_epoch_ = ifs_epoch_;
     ++ifs_updates_;
+    const TimeNs t = c->AccessTime(idle_start_, timings_.slot);
+    if (min_entity == nullptr || t < earliest) {
+      earliest = t;
+      min_entity = c;
+    }
   }
+  cached_earliest_ = earliest;
+  cached_min_ = min_entity;
+  earliest_valid_ = min_entity != nullptr;
   // Winners always resume with DIFS (they transmitted; EIFS is for third parties that
   // could not decode the exchange). This runs after the contender loop so a winner that
   // already re-entered contention ends up with DIFS either way.
@@ -234,6 +293,16 @@ void Medium::FinishExchange() {
     w->next_ifs_ = timings_.Difs();
     w->ifs_epoch_ = ifs_epoch_;
     ++ifs_updates_;
+    if (w->contender_index_ >= 0) {
+      // A winner that already re-entered contention was seen by the loop above with
+      // default_ifs_; DIFS may be shorter (EIFS epoch), so re-fold its deadline.
+      const TimeNs t = w->AccessTime(idle_start_, timings_.slot);
+      if (!earliest_valid_ || t < cached_earliest_) {
+        cached_earliest_ = t;
+        cached_min_ = w;
+        earliest_valid_ = true;
+      }
+    }
   }
   exchange_records_.clear();
   winners_.clear();  // Drop entity pointers as soon as the exchange is fully settled.

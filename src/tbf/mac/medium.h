@@ -9,7 +9,10 @@
 //
 // The medium schedules one event at the earliest access instant. Ties transmit together and
 // collide. Non-winners decrement their counters by the number of slots that elapsed. This is
-// exact for DCF semantics and costs O(contenders) per exchange.
+// exact for DCF semantics. The earliest access instant is maintained incrementally (cached
+// min with leave-invalidation; rebuilt inside loops the engine already runs), so joins and
+// exchange settle are O(1) on top of the unavoidable per-exchange classification pass,
+// instead of each triggering an O(contenders) rescan.
 //
 // A data exchange occupies the medium for DATA [+ SIFS + ACK if the data survives]. Failed
 // receptions impose EIFS on third parties; the transmitter discovers failure via ACK timeout
@@ -93,6 +96,13 @@ class Medium {
   // winners, never the whole cell (idle stations sync lazily on their next access).
   int64_t ifs_updates() const { return ifs_updates_; }
 
+  // Perf introspection for the access-deadline cache: full O(contenders) rescans in
+  // ScheduleAccessDecision (should stay rare - joins are O(1) compares and exchange
+  // settle folds the min into the IFS loop it already runs), and reschedules skipped
+  // because the recomputed deadline matched the already-scheduled event.
+  int64_t deadline_rescans() const { return deadline_rescans_; }
+  int64_t access_reschedules_skipped() const { return access_reschedules_skipped_; }
+
  private:
   friend class DcfEntity;
 
@@ -123,6 +133,19 @@ class Medium {
   bool busy_ = false;
   TimeNs idle_start_ = 0;
   sim::EventId access_event_ = sim::kInvalidEventId;
+  TimeNs scheduled_access_at_ = -1;  // Fire time of access_event_ (valid while pending).
+
+  // Incrementally maintained earliest access deadline over contenders_, so joins,
+  // leaves and exchange settle do not rescan the whole contender set:
+  //   * join:  O(1) compare against the cached min;
+  //   * leave: invalidates only when the cached min holder leaves (rescan on demand);
+  //   * exchange settle: the min is folded into FinishExchange's existing IFS loop;
+  //   * access instant: the post-consume min is folded into the classification loop.
+  // Deadlines of in-contention entities are otherwise immutable during an idle period,
+  // which is what makes the cached min sound.
+  TimeNs cached_earliest_ = 0;
+  DcfEntity* cached_min_ = nullptr;  // Used only for leave invalidation checks.
+  bool earliest_valid_ = false;
 
   // In-flight exchange state (one exchange at a time in a single collision domain).
   // Reused across exchanges so BeginExchange performs no per-exchange allocation once
@@ -136,6 +159,8 @@ class Medium {
   uint64_t ifs_epoch_ = 0;
   TimeNs default_ifs_ = 0;
   int64_t ifs_updates_ = 0;
+  int64_t deadline_rescans_ = 0;
+  int64_t access_reschedules_skipped_ = 0;
 
   stats::AirtimeMeter airtime_;
   TimeNs busy_time_ = 0;

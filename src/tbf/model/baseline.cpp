@@ -5,6 +5,8 @@
 namespace tbf::model {
 
 const std::map<phy::WifiRate, double>& PaperTable2Baselines() {
+  // Function-local static: initialization is thread-safe (C++11 magic static) and the
+  // map is immutable afterwards, so concurrent sweep workers may call this freely.
   static const std::map<phy::WifiRate, double> kTable = {
       {phy::WifiRate::k11Mbps, 5.189e6},
       {phy::WifiRate::k5_5Mbps, 3.327e6},

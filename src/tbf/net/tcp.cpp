@@ -173,8 +173,24 @@ void TcpSender::EnterFastRecovery() {
   ArmRto();
 }
 
-void TcpSender::OnRto() {
+// Fires when the scheduled event reaches the front of the queue; the logical deadline
+// may have moved forward since (every ack re-arms without touching the event), so
+// revalidate and chase the deadline instead of acting on a stale expiry.
+void TcpSender::OnRtoTimer() {
   rto_event_ = sim::kInvalidEventId;
+  if (rto_deadline_ < 0) {
+    return;  // Disarmed while the event was in flight.
+  }
+  if (sim_->Now() < rto_deadline_) {
+    rto_event_at_ = rto_deadline_;
+    rto_event_ = sim_->ScheduleAt(rto_deadline_, [this] { OnRtoTimer(); });
+    return;
+  }
+  rto_deadline_ = -1;
+  OnRto();
+}
+
+void TcpSender::OnRto() {
   if (Done() || FlightSize() <= 0) {
     return;
   }
@@ -192,15 +208,22 @@ void TcpSender::OnRto() {
 }
 
 void TcpSender::ArmRto() {
-  DisarmRto();
-  rto_event_ = sim_->Schedule(rto_, [this] { OnRto(); });
+  rto_deadline_ = sim_->Now() + rto_;
+  if (rto_event_ == sim::kInvalidEventId) {
+    rto_event_at_ = rto_deadline_;
+    rto_event_ = sim_->ScheduleAt(rto_deadline_, [this] { OnRtoTimer(); });
+  } else if (rto_deadline_ < rto_event_at_) {
+    // Rare: the RTO estimate shrank enough that the pending event would fire late.
+    // Every other re-arm leaves the event alone and lets OnRtoTimer chase the deadline.
+    sim_->Cancel(rto_event_);
+    rto_event_at_ = rto_deadline_;
+    rto_event_ = sim_->ScheduleAt(rto_deadline_, [this] { OnRtoTimer(); });
+  }
 }
 
 void TcpSender::DisarmRto() {
-  if (rto_event_ != sim::kInvalidEventId) {
-    sim_->Cancel(rto_event_);
-    rto_event_ = sim::kInvalidEventId;
-  }
+  // Lazy: the pending event (if any) fires as a no-op and releases itself.
+  rto_deadline_ = -1;
 }
 
 void TcpSender::UpdateRtt(TimeNs sample) {
@@ -261,10 +284,7 @@ void TcpReceiver::HandlePacket(const PacketPtr& packet) {
 }
 
 void TcpReceiver::SendAck() {
-  if (delack_event_ != sim::kInvalidEventId) {
-    sim_->Cancel(delack_event_);
-    delack_event_ = sim::kInvalidEventId;
-  }
+  delack_deadline_ = -1;  // Lazy disarm; a pending timer event fires as a no-op.
   unacked_segments_ = 0;
   PacketPtr p = MakeSegment(addr_, Proto::kTcpAck, kIpTcpHeaderBytes, sim_->Now());
   p->src = addr_.receiver;
@@ -275,15 +295,30 @@ void TcpReceiver::SendAck() {
 }
 
 void TcpReceiver::ArmDelack() {
-  if (delack_event_ != sim::kInvalidEventId) {
+  if (delack_deadline_ >= 0) {
+    return;  // Already armed; the deadline anchors to the first unacked segment.
+  }
+  delack_deadline_ = sim_->Now() + config_.delayed_ack_timeout;
+  if (delack_event_ == sim::kInvalidEventId) {
+    delack_event_ = sim_->ScheduleAt(delack_deadline_, [this] { OnDelackTimer(); });
+  }
+  // else: a pending (possibly disarmed-no-op) event exists; it was scheduled for an
+  // earlier deadline, so it fires first, revalidates, and chases this deadline.
+}
+
+void TcpReceiver::OnDelackTimer() {
+  delack_event_ = sim::kInvalidEventId;
+  if (delack_deadline_ < 0) {
+    return;  // An ack already went out; nothing to do.
+  }
+  if (sim_->Now() < delack_deadline_) {
+    delack_event_ = sim_->ScheduleAt(delack_deadline_, [this] { OnDelackTimer(); });
     return;
   }
-  delack_event_ = sim_->Schedule(config_.delayed_ack_timeout, [this] {
-    delack_event_ = sim::kInvalidEventId;
-    if (unacked_segments_ > 0) {
-      SendAck();
-    }
-  });
+  delack_deadline_ = -1;
+  if (unacked_segments_ > 0) {
+    SendAck();
+  }
 }
 
 }  // namespace tbf::net

@@ -71,6 +71,7 @@ class TcpSender : public PacketHandler {
   void EmitSegment(int64_t seq, int payload, bool is_retransmit);
   void EnterFastRecovery();
   void OnRto();
+  void OnRtoTimer();
   void ArmRto();
   void DisarmRto();
   void UpdateRtt(TimeNs sample);
@@ -102,7 +103,12 @@ class TcpSender : public PacketHandler {
   TimeNs srtt_ = 0;
   TimeNs rttvar_ = 0;
   TimeNs rto_;
+  // Lazy RTO: ArmRto only moves the logical deadline; the single scheduled event fires
+  // and revalidates against it (rescheduling forward if acks pushed it out) instead of
+  // paying a Cancel+Schedule on every ack. -1 = disarmed.
+  TimeNs rto_deadline_ = -1;
   sim::EventId rto_event_ = sim::kInvalidEventId;
+  TimeNs rto_event_at_ = -1;  // Fire time of rto_event_ while one is pending.
   sim::EventId app_event_ = sim::kInvalidEventId;
 
   int64_t retransmits_ = 0;
@@ -128,6 +134,7 @@ class TcpReceiver : public PacketHandler {
  private:
   void SendAck();
   void ArmDelack();
+  void OnDelackTimer();
 
   sim::Simulator* sim_;
   TcpConfig config_;
@@ -138,6 +145,10 @@ class TcpReceiver : public PacketHandler {
   int64_t rcv_nxt_ = 0;
   std::map<int64_t, int64_t> out_of_order_;  // seq -> end_seq.
   int unacked_segments_ = 0;
+  // Lazy delayed-ack timer, same deadline-revalidation pattern as the sender's RTO:
+  // sending an ack just clears the deadline and lets the pending event fire as a no-op,
+  // removing the per-segment Cancel traffic. -1 = disarmed.
+  TimeNs delack_deadline_ = -1;
   sim::EventId delack_event_ = sim::kInvalidEventId;
   int64_t acks_sent_ = 0;
   int64_t dup_segments_ = 0;

@@ -19,6 +19,10 @@ struct FlowResult {
   TimeNs completion_time = -1;
   int64_t retransmits = 0;
   int64_t timeouts = 0;
+
+  // Exact (bitwise on doubles) equality - sweep determinism checks compare a parallel
+  // run's Results against the serial run's, which must match exactly, not approximately.
+  friend bool operator==(const FlowResult&, const FlowResult&) = default;
 };
 
 struct Results {
@@ -32,6 +36,8 @@ struct Results {
   int64_t mac_collisions = 0;
   int64_t mac_exchanges = 0;
   int64_t ap_drops = 0;
+
+  friend bool operator==(const Results&, const Results&) = default;
 
   double GoodputMbps(NodeId client) const {
     auto it = goodput_bps.find(client);

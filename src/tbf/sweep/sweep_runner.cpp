@@ -1,0 +1,106 @@
+#include "tbf/sweep/sweep_runner.h"
+
+#include <algorithm>
+#include <cstdlib>
+
+namespace tbf::sweep {
+
+scenario::Results RunScenarioJob(const ScenarioJob& job) {
+  scenario::Wlan wlan(job.config);
+  for (const scenario::StationSpec& station : job.stations) {
+    wlan.AddStation(station);
+  }
+  for (const scenario::FlowSpec& flow : job.flows) {
+    wlan.AddFlow(flow);
+  }
+  if (job.configure) {
+    wlan.BuildNow();
+    job.configure(wlan);
+  }
+  return wlan.Run();
+}
+
+int SweepRunner::DefaultThreadCount() {
+  if (const char* env = std::getenv("TBF_SWEEP_THREADS"); env != nullptr) {
+    const int n = std::atoi(env);
+    if (n > 0) {
+      return std::min(n, 64);
+    }
+  }
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<int>(std::min(hw, 64u));
+}
+
+SweepRunner::SweepRunner(int threads) {
+  const int count = threads > 0 ? std::min(threads, 64) : DefaultThreadCount();
+  workers_.reserve(static_cast<size_t>(count));
+  for (int i = 0; i < count; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+SweepRunner::~SweepRunner() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  for (std::thread& worker : workers_) {
+    worker.join();
+  }
+}
+
+void SweepRunner::WorkerLoop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+      if (queue_.empty()) {
+        return;  // stop_ set and nothing left to drain.
+      }
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    task();
+  }
+}
+
+void SweepRunner::RunTasks(std::vector<std::function<void()>>&& tasks) {
+  if (tasks.empty()) {
+    return;
+  }
+  // Completion is tracked under its own mutex (not an atomic) so the caller's read of
+  // the result slots is ordered after every worker's writes - plain mutex
+  // happens-before, which both the memory model and TSan reason about directly.
+  std::mutex done_mu;
+  std::condition_variable done_cv;
+  size_t remaining = tasks.size();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (std::function<void()>& task : tasks) {
+      queue_.push_back([&done_mu, &done_cv, &remaining, job = std::move(task)] {
+        job();
+        std::lock_guard<std::mutex> done_lock(done_mu);
+        if (--remaining == 0) {
+          done_cv.notify_all();
+        }
+      });
+    }
+  }
+  cv_.notify_all();
+  std::unique_lock<std::mutex> lock(done_mu);
+  done_cv.wait(lock, [&remaining] { return remaining == 0; });
+}
+
+std::vector<scenario::Results> SweepRunner::RunScenarios(
+    const std::vector<ScenarioJob>& jobs) {
+  std::vector<std::function<scenario::Results()>> fns;
+  fns.reserve(jobs.size());
+  for (const ScenarioJob& job : jobs) {
+    fns.push_back([&job] { return RunScenarioJob(job); });
+  }
+  return Map(std::move(fns));
+}
+
+}  // namespace tbf::sweep

@@ -1,17 +1,28 @@
 #include "tbf/util/logging.h"
 
+#include <atomic>
 #include <cstdlib>
+#include <mutex>
 
 namespace tbf {
 namespace {
 
-LogLevel g_level = LogLevel::kWarning;
+// The level is read on every TBF_LOG site from any sweep worker thread; relaxed is
+// enough (it only gates output, it does not order data).
+std::atomic<LogLevel> g_level{LogLevel::kWarning};
+
+// Serializes whole formatted lines to the sink so concurrent scenario workers cannot
+// interleave characters within a line.
+std::mutex& SinkMutex() {
+  static std::mutex mu;
+  return mu;
+}
 
 }  // namespace
 
-LogLevel GetLogLevel() { return g_level; }
+LogLevel GetLogLevel() { return g_level.load(std::memory_order_relaxed); }
 
-void SetLogLevel(LogLevel level) { g_level = level; }
+void SetLogLevel(LogLevel level) { g_level.store(level, std::memory_order_relaxed); }
 
 const char* LogLevelName(LogLevel level) {
   switch (level) {
@@ -45,7 +56,9 @@ LogMessage::LogMessage(LogLevel level, const char* file, int line) : level_(leve
 
 LogMessage::~LogMessage() {
   stream_ << "\n";
-  std::cerr << stream_.str();
+  const std::string line = stream_.str();
+  std::lock_guard<std::mutex> lock(SinkMutex());
+  std::cerr << line;
   (void)level_;
 }
 

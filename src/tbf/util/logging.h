@@ -2,6 +2,12 @@
 //
 // The simulator is deterministic and heavily tested, so logging is used mostly for scenario
 // debugging; benches run at kWarning to keep output clean.
+//
+// Thread safety (required by the sweep runner, which logs from worker threads): the
+// level is an atomic, and each LogMessage assembles its full line privately before
+// emitting it under a sink mutex, so concurrent scenarios never interleave within a
+// line. SetLogLevel is safe to call at any time but is a process-wide knob - set it
+// before launching a sweep rather than from inside jobs.
 #ifndef TBF_UTIL_LOGGING_H_
 #define TBF_UTIL_LOGGING_H_
 

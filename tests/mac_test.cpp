@@ -270,6 +270,31 @@ TEST(DcfTest, ObserverSeesExchanges) {
   EXPECT_GT(counter.last_.airtime, 0);
 }
 
+TEST(DcfTest, AccessDeadlineCacheAvoidsFullRescans) {
+  // Joins are O(1) compares and exchange settle folds the min into the IFS loop, so
+  // full O(contenders) rescans in ScheduleAccessDecision must stay rare - they only
+  // happen when the cached min holder leaves contention while the medium is idle.
+  // Meanwhile, re-arming the access event with an unchanged deadline must be skipped.
+  World w;
+  TestStation sink(&w.medium, 9, 1, phy::WifiRate::k11Mbps, 1500, 0);
+  TestStation a(&w.medium, 1, 9, phy::WifiRate::k11Mbps, 1500);
+  TestStation b(&w.medium, 2, 9, phy::WifiRate::k5_5Mbps, 1500);
+  TestStation c(&w.medium, 3, 9, phy::WifiRate::k2Mbps, 1500);
+  a.Start();
+  b.Start();
+  c.Start();
+  w.sim.RunUntil(Sec(5));
+
+  EXPECT_GT(w.medium.exchanges(), 1000);
+  // Without the cache every exchange would cost several rescans (one per settle plus
+  // one per re-join); with it, rescans are a small fraction of exchanges.
+  EXPECT_LT(w.medium.deadline_rescans(),
+            w.medium.exchanges() / 4 + 10);
+  // The skip-identical-deadline satellite: re-joins whose deadline does not move the
+  // earliest access instant leave the scheduled event untouched.
+  EXPECT_GT(w.medium.access_reschedules_skipped(), 0);
+}
+
 TEST(DcfTest, CollisionRateReasonableForTwoSaturatedStations) {
   // Bianchi-style expectation: two stations with CWmin 31 collide on roughly
   // 1/32..1/16 of rounds (conditional collision probability ~ 1/(CWmin+1) per tx).

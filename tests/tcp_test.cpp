@@ -249,6 +249,69 @@ TEST(TcpTest, ReceiverReassemblesOutOfOrder) {
   EXPECT_EQ(acks.back()->ack, 3000);
 }
 
+TEST(TcpTest, LazyRtoFiresAtLogicalDeadline) {
+  // Kill the pipe after the first flight so no acks return: the retransmission timeout
+  // must still fire at (last arm + rto), even though arming is lazy and the scheduled
+  // event predates the final deadline.
+  sim::Simulator sim;
+  FlowAddress addr;
+  addr.flow_id = 1;
+  addr.sender = 1;
+  addr.receiver = 2;
+  TcpConfig config;
+  int64_t sent = 0;
+  TcpSender sender(&sim, config, addr, [&](PacketPtr) { ++sent; });
+  sender.SetTaskBytes(1'000'000);
+  sender.Start();
+  sim.RunUntil(Ms(1));
+  const int64_t first_flight = sent;
+  EXPECT_GT(first_flight, 0);
+  EXPECT_EQ(sender.timeouts(), 0);
+  // No acks ever arrive; the initial RTO (1 s) must fire and go-back-N retransmit.
+  sim.RunUntil(Sec(3));
+  EXPECT_GE(sender.timeouts(), 1);
+  EXPECT_GT(sent, first_flight);
+}
+
+TEST(TcpTest, LazyTimersKeepAckClockedTransferIdentical) {
+  // A lossless transfer never consumes an RTO; the lazy deadline bookkeeping must not
+  // inject spurious timeouts or retransmits.
+  sim::Simulator sim;
+  Connection c(&sim, Mbps(10), Ms(5));
+  c.sender->SetTaskBytes(2'000'000);
+  c.sender->Start();
+  sim.RunUntil(Sec(30));
+  ASSERT_TRUE(c.sender->Done());
+  EXPECT_EQ(c.sender->timeouts(), 0);
+  EXPECT_EQ(c.sender->retransmits(), 0);
+  EXPECT_EQ(c.receiver->bytes_received(), 2'000'000);
+}
+
+TEST(TcpTest, DelayedAckTimerStillFlushesTrailingSegment) {
+  // Send exactly one segment: no second segment arrives to trigger an immediate ack, so
+  // the (lazy) delayed-ack timer must flush it at the 40 ms deadline.
+  sim::Simulator sim;
+  FlowAddress addr;
+  addr.flow_id = 1;
+  addr.sender = 1;
+  addr.receiver = 2;
+  std::vector<std::pair<TimeNs, PacketPtr>> acks;
+  TcpReceiver rx(
+      &sim, TcpConfig{}, addr,
+      [&](PacketPtr p) { acks.emplace_back(sim.Now(), p); }, nullptr);
+  auto p = std::make_shared<Packet>();
+  p->proto = Proto::kTcpData;
+  p->flow_id = 1;
+  p->seq = 0;
+  p->end_seq = 1460;
+  p->size_bytes = 1460 + kIpTcpHeaderBytes;
+  sim.Schedule(Ms(1), [&] { rx.HandlePacket(p); });
+  sim.RunUntilIdle();
+  ASSERT_EQ(acks.size(), 1u);
+  EXPECT_EQ(acks[0].first, Ms(1) + TcpConfig{}.delayed_ack_timeout);
+  EXPECT_EQ(acks[0].second->ack, 1460);
+}
+
 TEST(TcpTest, DupAcksTriggerFastRetransmitNotTimeout) {
   sim::Simulator sim;
   Connection c(&sim, Mbps(10), Ms(5), /*loss=*/0.005);
