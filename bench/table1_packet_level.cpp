@@ -1,0 +1,114 @@
+// Table 1, packet level: the task-model efficiency measures (AvgTaskTime /
+// FinalTaskTime) regenerated from full-stack task-sequence scenarios instead of the
+// fluid model, for both fairness notions. The fluid predictions from
+// model::RunTaskModel are printed next to the measured times with their deltas - the
+// acceptance bar is agreement within 10% on the equal-work configuration. A second
+// grid runs 3-task back-to-back sequences per station, exercising the persistent-
+// connection restart path under both notions.
+#include "bench_common.h"
+
+#include <cmath>
+
+#include "tbf/model/baseline.h"
+#include "tbf/model/task_model.h"
+
+int main() {
+  using namespace tbf;
+  using namespace tbf::bench;
+
+  PrintHeader("Table 1 (packet level) - task times from full-stack task sequences",
+              "paper Table 1: FinalTaskTime invariant across notions for equal work; "
+              "AvgTaskTime better under TF");
+
+  const auto& betas = model::PaperTable2Baselines();
+  const double beta1 = betas.at(phy::WifiRate::k1Mbps);
+  const double beta11 = betas.at(phy::WifiRate::k11Mbps);
+
+  const std::pair<scenario::QdiscKind, const char*> notions[] = {
+      {scenario::QdiscKind::kFifo, "Exp-Normal(RF)"},
+      {scenario::QdiscKind::kTbr, "Exp-TBR(TF)"},
+  };
+
+  // One job per notion per sequence length: the Table 1 single-task row plus a 3-task
+  // back-to-back sequence that exercises the warm-connection restart path.
+  constexpr int64_t kTaskBytes = 4'000'000;
+  std::vector<sweep::ScenarioJob> jobs;
+  for (const int tasks_per_station : {1, 3}) {
+    for (const auto& [kind, name] : notions) {
+      sweep::ScenarioJob job;
+      job.config = StandardConfig(kind, Sec(400));
+      job.config.warmup = 0;  // Task timing is measured from flow start.
+      for (NodeId id = 1; id <= 2; ++id) {
+        scenario::StationSpec station;
+        station.id = id;
+        station.rate = id == 1 ? phy::WifiRate::k1Mbps : phy::WifiRate::k11Mbps;
+        job.stations.push_back(station);
+        scenario::FlowSpec flow;
+        flow.client = id;
+        flow.direction = scenario::Direction::kUplink;
+        flow.model = scenario::TrafficModel::kTaskSequence;
+        flow.task_bytes = kTaskBytes;
+        flow.task_count = tasks_per_station;
+        job.flows.push_back(flow);
+      }
+      jobs.push_back(std::move(job));
+    }
+  }
+  const std::vector<scenario::Results> results = RunSweepScenarios(jobs);
+
+  // Fluid predictions for the equal-work row.
+  const std::vector<model::Task> tasks = {{beta1, static_cast<double>(kTaskBytes), 1.0},
+                                          {beta11, static_cast<double>(kTaskBytes), 1.0}};
+  const model::TaskOutcome fluid_rf =
+      model::RunTaskModel(tasks, model::FairnessNotion::kThroughputFair);
+  const model::TaskOutcome fluid_tf =
+      model::RunTaskModel(tasks, model::FairnessNotion::kTimeFair);
+
+  std::printf("Equal work: one %lld-byte uplink TCP task per station (1 vs 11 Mbps).\n\n",
+              static_cast<long long>(kTaskBytes));
+  stats::Table table({"config", "measure", "fluid s", "packet s", "delta %"});
+  size_t job_idx = 0;
+  bool within_10pct = true;
+  for (const auto& [kind, name] : notions) {
+    const scenario::Results& res = results[job_idx++];
+    const model::TaskOutcome& fluid =
+        kind == scenario::QdiscKind::kFifo ? fluid_rf : fluid_tf;
+    const struct {
+      const char* measure;
+      double fluid_s;
+      double packet_s;
+    } rows[] = {
+        {"AvgTaskTime", fluid.avg_task_time_sec, res.avg_task_time_sec},
+        {"FinalTaskTime", fluid.final_task_time_sec, res.final_task_time_sec},
+    };
+    for (const auto& row : rows) {
+      const double delta = 100.0 * (row.packet_s / row.fluid_s - 1.0);
+      within_10pct = within_10pct && std::abs(delta) <= 10.0;
+      table.AddRow({name, row.measure, stats::Table::Num(row.fluid_s, 1),
+                    stats::Table::Num(row.packet_s, 1), stats::Table::Num(delta, 1)});
+    }
+  }
+  table.Print();
+  std::printf("agreement: packet-level task times %s within 10%% of the fluid model\n",
+              within_10pct ? "are" : "are NOT");
+
+  std::printf("\n3-task sequences (persistent connection, back to back):\n");
+  stats::Table seq({"config", "node", "t1 s", "t2 s", "t3 s", "AvgTaskTime", "FinalTaskTime"});
+  for (const auto& [kind, name] : notions) {
+    const scenario::Results& res = results[job_idx++];
+    for (const auto& fr : res.flows) {
+      std::vector<std::string> row = {name, std::to_string(fr.client)};
+      for (size_t t = 0; t < 3; ++t) {
+        row.push_back(t < fr.task_completions.size()
+                          ? stats::Table::Num(ToSeconds(fr.task_completions[t]), 1)
+                          : "-");
+      }
+      row.push_back(stats::Table::Num(res.avg_task_time_sec, 1));
+      row.push_back(stats::Table::Num(res.final_task_time_sec, 1));
+      seq.AddRow(row);
+    }
+  }
+  seq.Print();
+  PrintSweepFooter();
+  return within_10pct ? 0 : 1;
+}

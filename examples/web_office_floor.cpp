@@ -1,0 +1,100 @@
+// An office floor at lunch hour: ten laptops browsing the web (on/off sources - Pareto
+// page sizes, exponential reading pauses), one machine pushing a nightly-build artifact
+// to the server as a sequence of equal-sized uploads, and one laptop in the dead corner
+// that starts a sustained 1 Mbps-rate download - the paper's anomaly trigger. Shows the
+// two scenario traffic models working together and what each AP scheduler does to
+// user-visible latency: per-download times for the browsers, per-task completion times
+// for the uploader.
+#include <algorithm>
+#include <cstdio>
+#include <vector>
+
+#include "tbf/scenario/wlan.h"
+#include "tbf/stats/table.h"
+
+int main() {
+  using namespace tbf;
+
+  constexpr int kBrowsers = 10;
+  constexpr NodeId kUploader = kBrowsers + 1;
+  constexpr NodeId kCornerHog = kBrowsers + 2;
+
+  std::printf("Office floor: %d web browsers + 1 sequenced uploader + 1 slow bulk hog.\n\n",
+              kBrowsers);
+
+  stats::Table table({"scheduler", "downloads", "mean dl s", "p95 dl s",
+                      "upload task s (each)", "all uploads done s", "hog Mbps"});
+
+  for (const auto& [qdisc, name] :
+       {std::pair{scenario::QdiscKind::kFifo, "stock FIFO"},
+        std::pair{scenario::QdiscKind::kRoundRobin, "round robin"},
+        std::pair{scenario::QdiscKind::kTbr, "TBR (time-fair)"}}) {
+    scenario::ScenarioConfig config;
+    config.qdisc = qdisc;
+    config.warmup = 0;  // Latencies are per task; no stats window needed.
+    config.duration = Sec(180);
+
+    scenario::Wlan wlan(config);
+    for (NodeId id = 1; id <= kBrowsers; ++id) {
+      // Window seats get clean 11 Mbps; the far corner drops to 2, one to 1.
+      const phy::WifiRate rate = id <= 7   ? phy::WifiRate::k11Mbps
+                                 : id <= 9 ? phy::WifiRate::k2Mbps
+                                           : phy::WifiRate::k1Mbps;
+      wlan.AddStation(id, rate);
+      auto& flow = wlan.AddWebOnOff(id, scenario::Direction::kDownlink);
+      flow.onoff.mean_flow_bytes = 192.0 * 1024.0;  // Image-heavy pages.
+      flow.onoff.mean_think_sec = 8.0;              // Actually reading them.
+    }
+    wlan.AddStation(kUploader, phy::WifiRate::k11Mbps);
+    // Four 3 MB artifact chunks, back to back on one connection.
+    wlan.AddTaskSequence(kUploader, scenario::Direction::kUplink, 3'000'000, 4);
+
+    // The dead-corner laptop pulls an OS update for the whole run at 1 Mbps - the
+    // slow-node airtime hog that triggers the paper's rate anomaly under FIFO.
+    wlan.AddStation(kCornerHog, phy::WifiRate::k1Mbps);
+    wlan.AddBulkTcp(kCornerHog, scenario::Direction::kDownlink);
+
+    const scenario::Results res = wlan.Run();
+
+    std::vector<double> downloads;
+    double upload_sum = 0.0;
+    double upload_done = 0.0;
+    int upload_tasks = 0;
+    for (const auto& fr : res.flows) {
+      if (fr.client == kUploader) {
+        for (const TimeNs d : fr.task_durations) {
+          upload_sum += ToSeconds(d);
+          ++upload_tasks;
+        }
+        upload_done = fr.completion_time > 0 ? ToSeconds(fr.completion_time) : -1.0;
+      } else if (fr.client != kCornerHog) {
+        for (const TimeNs d : fr.task_durations) {
+          downloads.push_back(ToSeconds(d));
+        }
+      }
+    }
+    std::sort(downloads.begin(), downloads.end());
+    double mean = 0.0;
+    for (const double d : downloads) {
+      mean += d;
+    }
+    mean = downloads.empty() ? 0.0 : mean / static_cast<double>(downloads.size());
+    const double p95 = downloads.empty() ? 0.0 : downloads[downloads.size() * 95 / 100];
+    table.AddRow({name, std::to_string(downloads.size()), stats::Table::Num(mean, 2),
+                  stats::Table::Num(p95, 2),
+                  upload_tasks > 0 ? stats::Table::Num(upload_sum / upload_tasks, 1) : "-",
+                  upload_done > 0 ? stats::Table::Num(upload_done, 1) : "unfinished",
+                  stats::Table::Num(res.GoodputMbps(kCornerHog), 2)});
+  }
+  table.Print();
+  std::printf(
+      "\nReading: once the corner laptop starts its 1 Mbps-rate download, the stock "
+      "FIFO\ncell shows the paper's anomaly - every page load queues behind slow-node "
+      "airtime\nand the hog itself only gets ~0.4 Mbps. Per-client queues (round robin) "
+      "recover\nmost of the browsing latency. TBR contains the hog hardest (it pays for "
+      "airtime,\nnot packets) but its equal initial time-shares tax short bursts in a "
+      "12-station\ncell until the rate adjuster redistributes; its clearest wins are "
+      "under sustained\ncontention - see bench_fig6_web_onoff and "
+      "bench_table1_packet_level.\n");
+  return 0;
+}

@@ -34,16 +34,33 @@ void TcpSender::Start(TimeNs at) {
   sim_->ScheduleAt(at, [this] {
     started_ = true;
     start_time_ = sim_->Now();
+    app_base_time_ = start_time_;
     TrySend();
   });
+}
+
+void TcpSender::AddTask(int64_t bytes) {
+  TBF_CHECK(bytes > 0 && task_bytes_ > 0) << "AddTask extends an existing finite task";
+  if (app_limit_bps_ > 0) {
+    // The application starts producing the new task now; without re-anchoring, credit
+    // accrued during the idle gap would release the whole task as one burst.
+    app_base_bytes_ = snd_una_;
+    app_base_time_ = sim_->Now();
+  }
+  task_bytes_ += bytes;
+  if (started_) {
+    TrySend();
+  }
 }
 
 int64_t TcpSender::AppBytesAvailable() const {
   int64_t avail = task_bytes_ > 0 ? task_bytes_ : std::numeric_limits<int64_t>::max();
   if (app_limit_bps_ > 0) {
-    // CBR application: bytes produced since start, with a small initial burst allowance.
-    const TimeNs elapsed = sim_->Now() - start_time_;
+    // CBR application: bytes produced since the current task began (re-anchored by
+    // AddTask), with a small initial burst allowance.
+    const TimeNs elapsed = sim_->Now() - app_base_time_;
     const int64_t produced =
+        app_base_bytes_ +
         static_cast<int64_t>(static_cast<double>(app_limit_bps_) / 8e9 *
                              static_cast<double>(elapsed)) +
         4 * config_.mss;
@@ -88,6 +105,13 @@ void TcpSender::TrySend() {
   }
 }
 
+int TcpSender::RetransmitPayload(int64_t seq) const {
+  if (task_bytes_ > 0) {
+    return static_cast<int>(std::min<int64_t>(config_.mss, task_bytes_ - seq));
+  }
+  return config_.mss;
+}
+
 void TcpSender::EmitSegment(int64_t seq, int payload, bool is_retransmit) {
   PacketPtr p = MakeSegment(addr_, Proto::kTcpData, payload + kIpTcpHeaderBytes, sim_->Now());
   p->src = addr_.sender;
@@ -128,7 +152,7 @@ void TcpSender::HandlePacket(const PacketPtr& packet) {
         cwnd_ = ssthresh_;
       } else {
         // NewReno partial ack: retransmit the next hole, deflate by acked bytes.
-        EmitSegment(snd_una_, config_.mss, /*is_retransmit=*/true);
+        EmitSegment(snd_una_, RetransmitPayload(snd_una_), /*is_retransmit=*/true);
         cwnd_ = std::max(cwnd_ - static_cast<double>(newly_acked) + config_.mss,
                          static_cast<double>(config_.mss));
       }
@@ -141,6 +165,9 @@ void TcpSender::HandlePacket(const PacketPtr& packet) {
     if (Done()) {
       completion_time_ = sim_->Now();
       DisarmRto();
+      if (on_task_complete_) {
+        on_task_complete_();  // May AddTask() a follow-up transfer reentrantly.
+      }
       return;
     }
     if (FlightSize() > 0) {
@@ -169,7 +196,7 @@ void TcpSender::EnterFastRecovery() {
   ssthresh_ = std::max(static_cast<double>(FlightSize()) / 2.0,
                        2.0 * static_cast<double>(config_.mss));
   cwnd_ = ssthresh_ + 3.0 * config_.mss;
-  EmitSegment(snd_una_, config_.mss, /*is_retransmit=*/true);
+  EmitSegment(snd_una_, RetransmitPayload(snd_una_), /*is_retransmit=*/true);
   ArmRto();
 }
 
@@ -202,8 +229,9 @@ void TcpSender::OnRto() {
   dupacks_ = 0;
   snd_nxt_ = snd_una_;  // Go-back-N: acks re-open the window.
   rto_ = std::min(rto_ * 2, config_.max_rto);
-  EmitSegment(snd_una_, config_.mss, /*is_retransmit=*/true);
-  snd_nxt_ = snd_una_ + config_.mss;
+  const int payload = RetransmitPayload(snd_una_);
+  EmitSegment(snd_una_, payload, /*is_retransmit=*/true);
+  snd_nxt_ = snd_una_ + payload;
   ArmRto();
 }
 

@@ -44,6 +44,8 @@ struct FlowAddress {
 class TcpSender : public PacketHandler {
  public:
   using SendFn = std::function<void(PacketPtr)>;
+  // Invoked each time a finite task finishes (its final byte is cumulatively acked).
+  using TaskDoneFn = std::function<void()>;
 
   TcpSender(sim::Simulator* sim, TcpConfig config, FlowAddress addr, SendFn send);
 
@@ -51,6 +53,12 @@ class TcpSender : public PacketHandler {
   void SetTaskBytes(int64_t bytes) { task_bytes_ = bytes; }
   // Cap the application's supply rate (paper Table 4's bottleneck emulation). 0 = off.
   void SetAppLimitBps(BitRate bps) { app_limit_bps_ = bps; }
+  void SetOnTaskComplete(TaskDoneFn fn) { on_task_complete_ = std::move(fn); }
+
+  // Appends another finite transfer of `bytes` to this connection (back-to-back tasks
+  // on a persistent connection: the sequence space and congestion state carry over).
+  // Transmission resumes immediately if the previous task had completed.
+  void AddTask(int64_t bytes);
 
   void Start(TimeNs at = 0);
 
@@ -59,6 +67,7 @@ class TcpSender : public PacketHandler {
 
   bool Started() const { return started_; }
   bool Done() const { return task_bytes_ > 0 && snd_una_ >= task_bytes_; }
+  // Completion of the most recently finished task; -1 if none finished yet.
   TimeNs completion_time() const { return completion_time_; }
   int64_t bytes_acked() const { return snd_una_; }
   int64_t retransmits() const { return retransmits_; }
@@ -69,6 +78,10 @@ class TcpSender : public PacketHandler {
  private:
   void TrySend();
   void EmitSegment(int64_t seq, int payload, bool is_retransmit);
+  // MSS clamped to the task boundary: retransmissions near the end of a finite task
+  // must not resend phantom bytes past task_bytes_ (they would count as delivered and
+  // shift every subsequent AddTask task).
+  int RetransmitPayload(int64_t seq) const;
   void EnterFastRecovery();
   void OnRto();
   void OnRtoTimer();
@@ -82,11 +95,18 @@ class TcpSender : public PacketHandler {
   TcpConfig config_;
   FlowAddress addr_;
   SendFn send_;
+  TaskDoneFn on_task_complete_;
 
   bool started_ = false;
+  // Cumulative task target in the connection's byte-sequence space (grown by AddTask).
   int64_t task_bytes_ = 0;
   BitRate app_limit_bps_ = 0;
   TimeNs start_time_ = 0;
+  // App-limited production anchor: the application has produced app_base_bytes_ plus
+  // app_limit_bps_ worth of the time since app_base_time_. AddTask re-anchors so idle
+  // gaps between tasks do not accrue supply credit.
+  int64_t app_base_bytes_ = 0;
+  TimeNs app_base_time_ = 0;
   TimeNs completion_time_ = -1;
 
   int64_t snd_una_ = 0;

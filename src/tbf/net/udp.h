@@ -2,17 +2,26 @@
 #ifndef TBF_NET_UDP_H_
 #define TBF_NET_UDP_H_
 
+#include <algorithm>
 #include <functional>
 
 #include "tbf/net/demux.h"
 #include "tbf/net/packet.h"
 #include "tbf/net/tcp.h"  // FlowAddress.
 #include "tbf/sim/simulator.h"
+#include "tbf/util/logging.h"
 
 namespace tbf::net {
 
-// Emits `packet_bytes` IP datagrams back to back at `rate_bps`. Set the rate above the
-// wireless capacity to model a saturating sender (the paper's UDP experiments).
+// Emits IP datagrams back to back at `rate_bps`. Set the rate above the wireless
+// capacity to model a saturating sender (the paper's UDP experiments).
+//
+// With `task_payload_bytes > 0` the source is a finite transfer: it emits full
+// `packet_bytes` datagrams and trims the final one to the remainder, so exactly
+// task_payload_bytes of payload leave the source (no floor-division under-send for
+// sizes that are not a multiple of the payload). AddTask() appends another transfer
+// to the same flow - seq numbering continues and emission resumes if it had drained -
+// which is how scenario task sequences and on/off sources restart the next flow.
 class UdpSource {
  public:
   using SendFn = std::function<void(PacketPtr)>;
@@ -20,32 +29,60 @@ class UdpSource {
   // `rng`, when provided, jitters each inter-packet gap by +-5% (mean preserved); this
   // prevents phase lock between multiple CBR sources sharing a drop-tail queue.
   UdpSource(sim::Simulator* sim, FlowAddress addr, SendFn send, BitRate rate_bps,
-            int packet_bytes = 1500, int64_t max_packets = 0, sim::Rng* rng = nullptr)
+            int packet_bytes = 1500, int64_t task_payload_bytes = 0,
+            sim::Rng* rng = nullptr)
       : sim_(sim),
         addr_(addr),
         send_(std::move(send)),
-        interval_(static_cast<TimeNs>(8e9 * packet_bytes / static_cast<double>(rate_bps))),
+        rate_bps_(rate_bps),
         packet_bytes_(packet_bytes),
-        max_packets_(max_packets),
-        rng_(rng) {}
+        target_payload_(task_payload_bytes),
+        rng_(rng) {
+    TBF_CHECK(packet_bytes_ > kIpUdpHeaderBytes);
+  }
 
   void Start(TimeNs at = 0) {
-    sim_->ScheduleAt(at, [this] { Tick(); });
+    sim_->ScheduleAt(at, [this] {
+      ticking_ = true;
+      Tick();
+    });
+  }
+
+  // Queues another finite transfer of `payload_bytes` on this flow and resumes emission
+  // if the previous task had drained. Only meaningful for bounded sources.
+  void AddTask(int64_t payload_bytes) {
+    TBF_CHECK(payload_bytes > 0 && target_payload_ > 0);
+    target_payload_ += payload_bytes;
+    if (started_ && !ticking_) {
+      ticking_ = true;
+      sim_->Schedule(0, [this] { Tick(); });
+    }
   }
 
   int64_t packets_sent() const { return seq_; }
 
  private:
   void Tick() {
-    if (max_packets_ > 0 && seq_ >= max_packets_) {
+    started_ = true;
+    if (target_payload_ > 0 && sent_payload_ >= target_payload_) {
+      ticking_ = false;  // Drained; AddTask re-enters here.
       return;
     }
+    int payload = packet_bytes_ - kIpUdpHeaderBytes;
+    if (target_payload_ > 0) {
+      payload = static_cast<int>(
+          std::min<int64_t>(payload, target_payload_ - sent_payload_));
+    }
     PacketPtr p = MakeUdpPacket(addr_.sender, addr_.receiver, addr_.wlan_client,
-                                addr_.flow_id, packet_bytes_, seq_++, sim_->Now());
+                                addr_.flow_id, payload + kIpUdpHeaderBytes, seq_++,
+                                sim_->Now());
+    sent_payload_ += payload;
     send_(p);
-    TimeNs gap = interval_;
+    // CBR pacing: the gap covers the datagram just sent at the configured rate.
+    TimeNs gap = static_cast<TimeNs>(8e9 * (payload + kIpUdpHeaderBytes) /
+                                     static_cast<double>(rate_bps_));
     if (rng_ != nullptr) {
-      gap = static_cast<TimeNs>(static_cast<double>(interval_) *
+      gap = static_cast<TimeNs>(static_cast<double>(gap) *
                                 (0.95 + 0.1 * rng_->UniformDouble()));
     }
     sim_->Schedule(gap, [this] { Tick(); });
@@ -54,11 +91,14 @@ class UdpSource {
   sim::Simulator* sim_;
   FlowAddress addr_;
   SendFn send_;
-  TimeNs interval_;
+  BitRate rate_bps_;
   int packet_bytes_;
-  int64_t max_packets_;
+  int64_t target_payload_;  // Cumulative payload bound across tasks; 0 = unbounded.
   sim::Rng* rng_;
+  int64_t sent_payload_ = 0;
   int64_t seq_ = 0;
+  bool started_ = false;
+  bool ticking_ = false;  // A Tick event is pending (emission has not drained).
 };
 
 // Counts delivered UDP payload, deduplicating MAC-level retransmission copies (delivery is

@@ -15,8 +15,17 @@ struct FlowResult {
   bool tcp = true;
   int64_t bytes_delivered = 0;   // Payload bytes within the measurement window.
   double goodput_bps = 0.0;
-  // Task flows: wall-clock completion measured from flow start; -1 if unfinished.
+  // Task flows: completion of the last finished task, measured from the flow's actual
+  // start (start spec + any CBR stagger), so values are warmup- and stagger-
+  // independent; -1 if no task finished.
   TimeNs completion_time = -1;
+  // Every finished task's completion, relative to the flow's actual start, in finish
+  // order. Task-sequence and on/off flows report one entry per completed transfer.
+  std::vector<TimeNs> task_completions;
+  // Per-task transfer latency: completion minus the moment that task's transfer began
+  // (think/gap time excluded). For back-to-back sequences these sum to the last
+  // completion; for on/off flows they are the user-visible download times.
+  std::vector<TimeNs> task_durations;
   int64_t retransmits = 0;
   int64_t timeouts = 0;
 
@@ -32,6 +41,17 @@ struct Results {
   double aggregate_bps = 0.0;
   double utilization = 0.0;  // Fraction of the window the channel carried energy.
   std::vector<FlowResult> flows;
+
+  // Table 1 efficiency measures over the completed tasks of kBulk/kTaskSequence flows:
+  // the packet-level counterparts of model::TaskOutcome's avg/final task times. Each
+  // task is scored by its flow's cumulative transfer time (task_gap idle excluded, so
+  // the numbers mirror the fluid model's gap-free schedule; identical to the completion
+  // offsets for back-to-back sequences). On/off flows are excluded - their timelines
+  // are mostly think time; use their per-flow task_durations instead. 0 when no such
+  // task finished. tasks_completed counts every flow's finished tasks.
+  double avg_task_time_sec = 0.0;
+  double final_task_time_sec = 0.0;
+  int64_t tasks_completed = 0;
 
   int64_t mac_collisions = 0;
   int64_t mac_exchanges = 0;

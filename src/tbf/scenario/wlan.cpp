@@ -34,6 +34,10 @@ class DispatchLossModel : public phy::LossModel {
 struct Wlan::FlowRuntime {
   FlowSpec spec;
   int flow_id = -1;
+  // When the first transfer actually begins: spec.start plus the CBR stagger for UDP
+  // flows. Task completions are reported relative to this, which makes
+  // AvgTaskTime/FinalTaskTime independent of the stagger and of where the warmup ends.
+  TimeNs actual_start = 0;
 
   std::unique_ptr<net::TcpSender> tcp_sender;
   std::unique_ptr<net::TcpReceiver> tcp_receiver;
@@ -42,6 +46,17 @@ struct Wlan::FlowRuntime {
 
   int64_t delivered_bytes = 0;   // Total payload delivered (from flow start).
   int64_t window_snapshot = 0;   // Delivered bytes at warmup.
+
+  // Finite-task bookkeeping. `task_target` is the cumulative payload target of the
+  // task in flight (grown per task so restarts share one sequence space); UDP tasks
+  // complete when the sink has delivered it, TCP tasks when the sender reports Done.
+  int64_t task_target = 0;
+  int tasks_started = 0;
+  TimeNs task_started_at = 0;            // When the task in flight began transferring.
+  std::vector<TimeNs> task_completions;  // Absolute sim times, converted on readout.
+  std::vector<TimeNs> task_durations;    // Completion minus that task's transfer start.
+
+  bool HasTasks() const { return task_target > 0; }
 };
 
 Wlan::Wlan(ScenarioConfig config) : config_(config) {}
@@ -83,6 +98,27 @@ FlowSpec& Wlan::AddSaturatingUdp(NodeId client, Direction direction) {
   spec.direction = direction;
   spec.transport = Transport::kUdp;
   spec.udp_rate = Mbps(9);  // Above any single DSSS link's capacity.
+  return AddFlow(spec);
+}
+
+FlowSpec& Wlan::AddWebOnOff(NodeId client, Direction direction) {
+  FlowSpec spec;
+  spec.client = client;
+  spec.direction = direction;
+  spec.transport = Transport::kTcp;
+  spec.model = TrafficModel::kOnOffWeb;
+  return AddFlow(spec);
+}
+
+FlowSpec& Wlan::AddTaskSequence(NodeId client, Direction direction, int64_t bytes,
+                                int count) {
+  FlowSpec spec;
+  spec.client = client;
+  spec.direction = direction;
+  spec.transport = Transport::kTcp;
+  spec.model = TrafficModel::kTaskSequence;
+  spec.task_bytes = bytes;
+  spec.task_count = count;
   return AddFlow(spec);
 }
 
@@ -197,7 +233,26 @@ void Wlan::Build() {
     };
 
     FlowRuntime* rt_ptr = rt.get();
-    auto deliver = [rt_ptr](int64_t bytes) { rt_ptr->delivered_bytes += bytes; };
+    auto deliver = [this, rt_ptr](int64_t bytes) { OnDelivered(rt_ptr, bytes); };
+
+    // Size of the first transfer: the spec's task size, or an on/off draw. 0 keeps the
+    // flow unbounded (kBulk fluid transfer).
+    int64_t first_task = 0;
+    switch (spec.model) {
+      case TrafficModel::kBulk:
+        first_task = spec.task_bytes;
+        break;
+      case TrafficModel::kTaskSequence:
+        TBF_CHECK(spec.task_bytes > 0 && spec.task_count > 0)
+            << "task sequences need a per-task size and a count";
+        first_task = spec.task_bytes;
+        break;
+      case TrafficModel::kOnOffWeb:
+        first_task = spec.onoff.DrawFlowBytes(*rng_);
+        break;
+    }
+    rt->task_target = first_task;
+    rt->tasks_started = first_task > 0 ? 1 : 0;
 
     if (spec.transport == Transport::kTcp) {
       net::TcpConfig tcp;
@@ -205,26 +260,81 @@ void Wlan::Build() {
       rt->tcp_sender = std::make_unique<net::TcpSender>(&sim_, tcp, addr, sender_out);
       rt->tcp_receiver =
           std::make_unique<net::TcpReceiver>(&sim_, tcp, addr, receiver_out, deliver);
-      if (spec.task_bytes > 0) {
-        rt->tcp_sender->SetTaskBytes(spec.task_bytes);
+      if (first_task > 0) {
+        rt->tcp_sender->SetTaskBytes(first_task);
+        // TCP tasks complete when the final byte is cumulatively acked.
+        rt->tcp_sender->SetOnTaskComplete([this, rt_ptr] { OnTaskComplete(rt_ptr); });
       }
       if (spec.app_limit_bps > 0) {
         rt->tcp_sender->SetAppLimitBps(spec.app_limit_bps);
       }
       demux_->Register(addr.sender, addr.flow_id, rt->tcp_sender.get());
       demux_->Register(addr.receiver, addr.flow_id, rt->tcp_receiver.get());
-      rt->tcp_sender->Start(spec.start);
+      rt->actual_start = spec.start;
+      rt->tcp_sender->Start(rt->actual_start);
     } else {
-      rt->udp_source = std::make_unique<net::UdpSource>(
-          &sim_, addr, sender_out, spec.udp_rate, spec.packet_bytes,
-          spec.task_bytes > 0 ? spec.task_bytes / std::max(spec.packet_bytes - 28, 1) : 0,
-          rng_.get());
+      // The source packetizes finite tasks itself (ceiling division with a trimmed
+      // final datagram), so exactly first_task payload bytes hit the wire.
+      rt->udp_source = std::make_unique<net::UdpSource>(&sim_, addr, sender_out,
+                                                        spec.udp_rate, spec.packet_bytes,
+                                                        first_task, rng_.get());
       rt->udp_sink = std::make_unique<net::UdpSink>(deliver);
       demux_->Register(addr.receiver, addr.flow_id, rt->udp_sink.get());
       // Stagger CBR starts so synchronized sources do not phase-lock on shared queues.
-      rt->udp_source->Start(spec.start + rt->flow_id * Us(97));
+      rt->actual_start = spec.start + rt->flow_id * Us(97);
+      rt->udp_source->Start(rt->actual_start);
     }
+    rt->task_started_at = rt->actual_start;  // The first task transfers from the start.
     flows_.push_back(std::move(rt));
+  }
+}
+
+void Wlan::OnDelivered(FlowRuntime* rt, int64_t bytes) {
+  rt->delivered_bytes += bytes;
+  // UDP tasks have no acks; they complete when the sink has delivered the task's
+  // payload. (A datagram lost beyond the MAC's retries stalls the task - finite UDP
+  // tasks are meant for configurations below the loss cliff.)
+  if (rt->spec.transport == Transport::kUdp && rt->HasTasks() &&
+      rt->delivered_bytes >= rt->task_target) {
+    OnTaskComplete(rt);
+  }
+}
+
+void Wlan::OnTaskComplete(FlowRuntime* rt) {
+  rt->task_completions.push_back(sim_.Now());
+  rt->task_durations.push_back(sim_.Now() - rt->task_started_at);
+  const FlowSpec& spec = rt->spec;
+  switch (spec.model) {
+    case TrafficModel::kBulk:
+      break;  // Single finite task; nothing follows.
+    case TrafficModel::kTaskSequence:
+      if (rt->tasks_started < spec.task_count) {
+        QueueNextTask(rt, spec.task_bytes, spec.task_gap);
+      }
+      break;
+    case TrafficModel::kOnOffWeb:
+      // Think, then the next transfer. Both draws happen now (event order is
+      // deterministic, so the rng stream is too).
+      QueueNextTask(rt, spec.onoff.DrawFlowBytes(*rng_), spec.onoff.DrawThinkNs(*rng_));
+      break;
+  }
+}
+
+void Wlan::QueueNextTask(FlowRuntime* rt, int64_t bytes, TimeNs delay) {
+  ++rt->tasks_started;
+  auto launch = [this, rt, bytes] {
+    rt->task_started_at = sim_.Now();
+    rt->task_target += bytes;
+    if (rt->tcp_sender != nullptr) {
+      rt->tcp_sender->AddTask(bytes);
+    } else {
+      rt->udp_source->AddTask(bytes);
+    }
+  };
+  if (delay > 0) {
+    sim_.Schedule(delay, launch);
+  } else {
+    launch();
   }
 }
 
@@ -276,6 +386,8 @@ Results Wlan::Run() {
             : 0.0;
   }
 
+  double sum_task_sec = 0.0;
+  int64_t table1_tasks = 0;
   for (auto& flow : flows_) {
     FlowResult fr;
     fr.flow_id = flow->flow_id;
@@ -283,16 +395,40 @@ Results Wlan::Run() {
     fr.tcp = flow->spec.transport == Transport::kTcp;
     fr.bytes_delivered = flow->delivered_bytes - flow->window_snapshot;
     fr.goodput_bps = static_cast<double>(fr.bytes_delivered) * 8.0 / window_sec;
+    // Task completions are reported relative to the flow's actual start (spec start +
+    // CBR stagger), so they do not shift with the stagger or the warmup boundary.
+    // The Table 1 aggregates use cumulative transfer durations - idle time (task_gap,
+    // think) excluded, matching the fluid model's gap-free schedule; they coincide with
+    // the completions for back-to-back sequences. On/off flows count toward
+    // tasks_completed but stay out of the aggregates entirely (mostly think time).
+    const bool table1_flow = flow->spec.model != TrafficModel::kOnOffWeb;
+    fr.task_completions.reserve(flow->task_completions.size());
+    TimeNs transfer_elapsed = 0;
+    for (size_t i = 0; i < flow->task_completions.size(); ++i) {
+      fr.task_completions.push_back(flow->task_completions[i] - flow->actual_start);
+      transfer_elapsed += flow->task_durations[i];
+      ++results.tasks_completed;
+      if (table1_flow) {
+        ++table1_tasks;
+        sum_task_sec += ToSeconds(transfer_elapsed);
+        results.final_task_time_sec =
+            std::max(results.final_task_time_sec, ToSeconds(transfer_elapsed));
+      }
+    }
+    fr.task_durations = flow->task_durations;
+    if (!fr.task_completions.empty()) {
+      fr.completion_time = fr.task_completions.back();
+    }
     if (flow->tcp_sender != nullptr) {
       fr.retransmits = flow->tcp_sender->retransmits();
       fr.timeouts = flow->tcp_sender->timeouts();
-      if (flow->tcp_sender->Done()) {
-        fr.completion_time = flow->tcp_sender->completion_time() - flow->spec.start;
-      }
     }
     results.goodput_bps[flow->spec.client] += fr.goodput_bps;
     results.aggregate_bps += fr.goodput_bps;
     results.flows.push_back(fr);
+  }
+  if (table1_tasks > 0) {
+    results.avg_task_time_sec = sum_task_sec / static_cast<double>(table1_tasks);
   }
 
   results.utilization =

@@ -22,12 +22,24 @@
 #include "tbf/rateadapt/rate_controller.h"
 #include "tbf/scenario/results.h"
 #include "tbf/sim/simulator.h"
+#include "tbf/trace/distributions.h"
 
 namespace tbf::scenario {
 
 enum class Direction { kUplink, kDownlink };
 enum class Transport { kTcp, kUdp };
 enum class QdiscKind { kFifo, kRoundRobin, kDrr, kTbr, kOarBurst };
+
+// What the application on top of a flow looks like.
+//  kBulk:         one transfer - unbounded when task_bytes == 0, a single finite task
+//                 otherwise (the classic fluid/task split).
+//  kTaskSequence: task_count finite transfers of task_bytes each, back to back on the
+//                 same connection (task_gap apart), each reporting its completion time -
+//                 the packet-level counterpart of model::RunTaskModel's task lists.
+//  kOnOffWeb:     endless web-era on/off source - Pareto-sized transfers separated by
+//                 exponential think times (trace/distributions.h samplers, the same
+//                 distributions the synthetic trace generators draw from).
+enum class TrafficModel { kBulk, kTaskSequence, kOnOffWeb };
 
 struct StationSpec {
   NodeId id = kInvalidNodeId;
@@ -45,7 +57,11 @@ struct FlowSpec {
   NodeId client = kInvalidNodeId;
   Direction direction = Direction::kUplink;
   Transport transport = Transport::kTcp;
-  int64_t task_bytes = 0;       // 0 = unbounded transfer (fluid model).
+  TrafficModel model = TrafficModel::kBulk;
+  int64_t task_bytes = 0;       // kBulk: 0 = unbounded. kTaskSequence: per-task size.
+  int task_count = 1;           // kTaskSequence: number of back-to-back transfers.
+  TimeNs task_gap = 0;          // kTaskSequence: idle gap between transfers.
+  trace::OnOffSampler onoff;    // kOnOffWeb: flow-size / think-time distributions.
   BitRate app_limit_bps = 0;    // TCP sender-side application cap (0 = none).
   BitRate udp_rate = Mbps(8);   // CBR rate for UDP sources.
   int packet_bytes = 1500;      // IP datagram size.
@@ -81,6 +97,10 @@ class Wlan {
   // Convenience: one saturated TCP flow for `client` in `direction`.
   FlowSpec& AddBulkTcp(NodeId client, Direction direction);
   FlowSpec& AddSaturatingUdp(NodeId client, Direction direction);
+  // Web-like on/off TCP source (Pareto transfers, exponential think times).
+  FlowSpec& AddWebOnOff(NodeId client, Direction direction);
+  // `count` finite TCP transfers of `bytes` each, back to back.
+  FlowSpec& AddTaskSequence(NodeId client, Direction direction, int64_t bytes, int count);
 
   // Constructs the full stack without running. Call when pre-run configuration of live
   // components is needed (e.g. TBR weights); Run() builds implicitly otherwise.
@@ -100,6 +120,11 @@ class Wlan {
 
   void Build();
   std::unique_ptr<ap::Qdisc> MakeQdisc();
+  // Task chaining: records the task that just finished on `rt` and, for sequence and
+  // on/off flows, queues the next transfer (after the think/gap time).
+  void OnTaskComplete(FlowRuntime* rt);
+  void QueueNextTask(FlowRuntime* rt, int64_t bytes, TimeNs delay);
+  void OnDelivered(FlowRuntime* rt, int64_t bytes);
 
   ScenarioConfig config_;
   std::vector<StationSpec> station_specs_;

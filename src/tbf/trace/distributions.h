@@ -1,0 +1,52 @@
+// Reusable workload-distribution samplers.
+//
+// The paper's web-era workloads are heavy-tailed transfers separated by user think
+// times: Pareto flow sizes (mean pinned via the shape parameter) and exponential idle
+// gaps. These draws were originally private to the synthetic trace generators; they are
+// factored out here so the packet-level scenario traffic models (scenario::FlowSpec's
+// on/off mode) and the generators sample from exactly the same distributions.
+#ifndef TBF_TRACE_DISTRIBUTIONS_H_
+#define TBF_TRACE_DISTRIBUTIONS_H_
+
+#include <algorithm>
+
+#include "tbf/sim/random.h"
+#include "tbf/util/units.h"
+
+namespace tbf::trace {
+
+// Pareto minimum xm such that the distribution's mean is `mean` at shape `alpha`
+// (requires alpha > 1; the mean is xm * alpha / (alpha - 1)).
+constexpr double ParetoMinForMean(double mean, double alpha) {
+  return mean * (alpha - 1.0) / alpha;
+}
+
+// One heavy-tailed flow-size draw (bytes, as a double so callers can scale before
+// truncating): Pareto with the given mean and shape.
+inline double DrawParetoFlowBytes(sim::Rng& rng, double mean_bytes, double alpha) {
+  return rng.Pareto(ParetoMinForMean(mean_bytes, alpha), alpha);
+}
+
+// One exponential think-time draw, in simulation time.
+inline TimeNs DrawExpThinkNs(sim::Rng& rng, double mean_sec) {
+  return static_cast<TimeNs>(rng.Exponential(mean_sec) * 1e9);
+}
+
+// A web-like on/off source: alternate a Pareto-sized transfer with an exponential
+// think time. Defaults match the workshop-trace generator's web-era parameters.
+struct OnOffSampler {
+  double mean_flow_bytes = 256.0 * 1024.0;
+  double pareto_alpha = 1.3;
+  double mean_think_sec = 5.0;
+
+  // Flow sizes are clamped to at least one byte so a task is never empty.
+  int64_t DrawFlowBytes(sim::Rng& rng) const {
+    return std::max<int64_t>(
+        1, static_cast<int64_t>(DrawParetoFlowBytes(rng, mean_flow_bytes, pareto_alpha)));
+  }
+  TimeNs DrawThinkNs(sim::Rng& rng) const { return DrawExpThinkNs(rng, mean_think_sec); }
+};
+
+}  // namespace tbf::trace
+
+#endif  // TBF_TRACE_DISTRIBUTIONS_H_

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "tbf/phy/timing.h"
+#include "tbf/trace/distributions.h"
 
 namespace tbf::trace {
 namespace {
@@ -23,8 +24,6 @@ phy::WifiRate DrawRate(const std::map<phy::WifiRate, double>& mix, sim::Rng& rng
   }
   return mix.rbegin()->first;
 }
-
-double ParetoMin(double mean, double alpha) { return mean * (alpha - 1.0) / alpha; }
 
 }  // namespace
 
@@ -58,15 +57,15 @@ WorkshopConfig Ws3Config() {
 
 TraceLog GenerateWorkshopTrace(const WorkshopConfig& config, sim::Rng& rng) {
   TraceLog log;
-  const double flow_min = ParetoMin(config.mean_flow_bytes, config.pareto_alpha);
 
   for (int user = 1; user <= config.users; ++user) {
-    TimeNs t = static_cast<TimeNs>(rng.Exponential(config.mean_think_sec) * 1e9);
+    TimeNs t = DrawExpThinkNs(rng, config.mean_think_sec);
     while (t < config.duration) {
       // One flow: rate drawn from the session's byte mixture, occasionally wandering a
       // step (indoor channel variation during the transfer).
       const phy::WifiRate flow_rate = DrawRate(config.rate_mix, rng);
-      auto bytes = static_cast<int64_t>(rng.Pareto(flow_min, config.pareto_alpha));
+      auto bytes = static_cast<int64_t>(
+          DrawParetoFlowBytes(rng, config.mean_flow_bytes, config.pareto_alpha));
       while (bytes > 0 && t < config.duration) {
         // Occasional one-step fallback models transient channel dips without letting the
         // flow's rate random-walk away from its drawn (position-determined) rate.
@@ -86,7 +85,7 @@ TraceLog GenerateWorkshopTrace(const WorkshopConfig& config, sim::Rng& rng) {
         const TimeNs gap = phy::FrameAirtime(r.bytes, rate) + Us(350);
         t += gap + (r.retry ? gap : 0);
       }
-      t += static_cast<TimeNs>(rng.Exponential(config.mean_think_sec) * 1e9);
+      t += DrawExpThinkNs(rng, config.mean_think_sec);
     }
   }
   return log;
@@ -96,7 +95,6 @@ TraceLog GenerateResidenceTrace(const ResidenceConfig& config, sim::Rng& rng) {
   TraceLog log;
   const TimeNs step = Ms(100);
   const double step_sec = ToSeconds(step);
-  const double flow_min = ParetoMin(config.mean_flow_bytes, config.pareto_alpha);
 
   struct UserState {
     double remaining_bytes = 0.0;  // 0 = thinking.
@@ -107,7 +105,7 @@ TraceLog GenerateResidenceTrace(const ResidenceConfig& config, sim::Rng& rng) {
   for (size_t i = 0; i < users.size(); ++i) {
     const double think =
         i == 0 ? config.mean_think_sec / config.heavy_user_boost : config.mean_think_sec;
-    users[i].wake_at = static_cast<TimeNs>(rng.Exponential(think) * 1e9);
+    users[i].wake_at = DrawExpThinkNs(rng, think);
     users[i].peak_bps = 1.5e6 + 3.0e6 * rng.UniformDouble();
   }
 
@@ -118,7 +116,8 @@ TraceLog GenerateResidenceTrace(const ResidenceConfig& config, sim::Rng& rng) {
       UserState& u = users[i];
       if (u.remaining_bytes <= 0.0 && t >= u.wake_at) {
         const double scale = i == 0 ? 2.0 : 1.0;
-        u.remaining_bytes = scale * rng.Pareto(flow_min, config.pareto_alpha);
+        u.remaining_bytes =
+            scale * DrawParetoFlowBytes(rng, config.mean_flow_bytes, config.pareto_alpha);
       }
       if (u.remaining_bytes > 0.0) {
         active.push_back(i);
@@ -164,7 +163,7 @@ TraceLog GenerateResidenceTrace(const ResidenceConfig& config, sim::Rng& rng) {
         const double think = active[k] == 0
                                  ? config.mean_think_sec / config.heavy_user_boost
                                  : config.mean_think_sec;
-        u.wake_at = t + static_cast<TimeNs>(rng.Exponential(think) * 1e9);
+        u.wake_at = t + DrawExpThinkNs(rng, think);
       }
       TraceRecord r;
       r.time = t;

@@ -119,16 +119,68 @@ TEST(UdpSourceTest, EmitsAtConfiguredRate) {
   EXPECT_NEAR(static_cast<double>(sent_bytes) * 8.0 / 5.0, 2e6, 0.05e6);
 }
 
-TEST(UdpSourceTest, BoundedPacketCount) {
+TEST(UdpSourceTest, BoundedTaskSendsExactPayload) {
   sim::Simulator sim;
   FlowAddress addr;
   addr.flow_id = 1;
   int sent = 0;
-  UdpSource source(&sim, addr, [&](PacketPtr) { ++sent; }, Mbps(10), 1500,
-                   /*max_packets=*/7);
+  int64_t payload = 0;
+  const int64_t task = 7 * (1500 - kIpUdpHeaderBytes);
+  UdpSource source(&sim, addr,
+                   [&](PacketPtr p) {
+                     ++sent;
+                     payload += p->PayloadBytes();
+                   },
+                   Mbps(10), 1500, task);
   source.Start();
   sim.RunUntil(Sec(5));
   EXPECT_EQ(sent, 7);
+  EXPECT_EQ(payload, task);
+}
+
+TEST(UdpSourceTest, OddTaskSizeTrimsFinalDatagram) {
+  sim::Simulator sim;
+  FlowAddress addr;
+  addr.flow_id = 1;
+  int sent = 0;
+  int64_t payload = 0;
+  int last_size = 0;
+  // Not a multiple of the 1472-byte payload: the old floor-division packet count
+  // silently under-sent this task by 1000 bytes.
+  const int64_t task = 2 * (1500 - kIpUdpHeaderBytes) + 1000;
+  UdpSource source(&sim, addr,
+                   [&](PacketPtr p) {
+                     ++sent;
+                     payload += p->PayloadBytes();
+                     last_size = p->size_bytes;
+                   },
+                   Mbps(10), 1500, task);
+  source.Start();
+  sim.RunUntil(Sec(5));
+  EXPECT_EQ(sent, 3);
+  EXPECT_EQ(payload, task);
+  EXPECT_EQ(last_size, 1000 + kIpUdpHeaderBytes);
+}
+
+TEST(UdpSourceTest, AddTaskResumesDrainedSource) {
+  sim::Simulator sim;
+  FlowAddress addr;
+  addr.flow_id = 1;
+  int64_t payload = 0;
+  int64_t max_seq = -1;
+  UdpSource source(&sim, addr,
+                   [&](PacketPtr p) {
+                     payload += p->PayloadBytes();
+                     max_seq = std::max(max_seq, p->seq);
+                   },
+                   Mbps(10), 1500, /*task_payload_bytes=*/500);
+  source.Start();
+  sim.RunUntil(Sec(1));
+  EXPECT_EQ(payload, 500);
+  source.AddTask(2000);  // Restart for the next flow in the sequence.
+  sim.RunUntil(Sec(2));
+  EXPECT_EQ(payload, 2500);
+  EXPECT_EQ(max_seq + 1, source.packets_sent());  // Seq numbering continued.
 }
 
 // ---- Host + AP forwarding over a live medium -------------------------------------------

@@ -111,6 +111,65 @@ TEST(TcpTest, CompletesFixedTask) {
   EXPECT_GT(c.sender->completion_time(), 0);
 }
 
+TEST(TcpTest, RetransmitDoesNotOvershootTaskBoundary) {
+  // Lose the first copy of a finite task's sub-MSS tail segment. The RTO retransmission
+  // must resend exactly the 500-byte tail, not a full MSS of phantom bytes past the
+  // task boundary (which would count as delivered and shift any chained AddTask task).
+  sim::Simulator sim;
+  const int64_t task = 3 * 1460 + 500;
+  FlowAddress addr;
+  addr.flow_id = 1;
+  addr.sender = 1;
+  addr.receiver = 2;
+  addr.wlan_client = 1;
+  TcpConfig config;
+  std::unique_ptr<TcpSender> sender;
+  std::unique_ptr<TcpReceiver> receiver;
+  int64_t delivered = 0;
+  bool tail_dropped = false;
+  sender = std::make_unique<TcpSender>(
+      &sim, config, addr, [&sim, &receiver, &tail_dropped, task](PacketPtr p) {
+        if (!tail_dropped && p->end_seq == task) {
+          tail_dropped = true;  // First transmission of the tail vanishes.
+          return;
+        }
+        sim.Schedule(Ms(1), [r = receiver.get(), p] { r->HandlePacket(p); });
+      });
+  receiver = std::make_unique<TcpReceiver>(
+      &sim, config, addr,
+      [&sim, &sender](PacketPtr p) {
+        sim.Schedule(Ms(1), [s = sender.get(), p] { s->HandlePacket(p); });
+      },
+      [&delivered](int64_t bytes) { delivered += bytes; });
+  sender->SetTaskBytes(task);
+  sender->Start();
+  sim.RunUntil(Sec(10));
+  EXPECT_TRUE(tail_dropped);
+  EXPECT_TRUE(sender->Done());
+  EXPECT_EQ(receiver->bytes_received(), task);  // No bytes past the boundary.
+  EXPECT_EQ(delivered, task);
+}
+
+TEST(TcpTest, LossyPipeTaskSequenceStaysExact) {
+  // Random loss on the pipe: every chained task still delivers exactly its bytes (the
+  // clamped retransmissions keep the cumulative sequence targets aligned).
+  sim::Simulator sim;
+  Connection c(&sim, Mbps(10), Ms(5), /*loss=*/0.02);
+  const int64_t task = 200'000 + 123;  // Sub-MSS tail.
+  int tasks_done = 0;
+  c.sender->SetTaskBytes(task);
+  c.sender->SetOnTaskComplete([&] {
+    if (++tasks_done < 5) {
+      c.sender->AddTask(task);
+    }
+  });
+  c.sender->Start();
+  sim.RunUntil(Sec(60));
+  EXPECT_EQ(tasks_done, 5);
+  EXPECT_EQ(c.receiver->bytes_received(), 5 * task);
+  EXPECT_EQ(c.delivered, 5 * task);
+}
+
 TEST(TcpTest, ThroughputApproachesBottleneck) {
   sim::Simulator sim;
   Connection c(&sim, Mbps(10), Ms(2));

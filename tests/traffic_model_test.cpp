@@ -1,0 +1,301 @@
+// Scenario traffic models: exact finite-task accounting (TCP and UDP deliver precisely
+// task_bytes, including odd sizes and sub-packet tasks - the UDP floor-division
+// regression), stagger/warmup-independent task timing, task sequences, web on/off
+// sources, agreement with the fluid task model, and sweep determinism of the new
+// scenario kinds across pool sizes.
+#include <algorithm>
+#include <cstdint>
+
+#include <gtest/gtest.h>
+
+#include "tbf/model/baseline.h"
+#include "tbf/model/task_model.h"
+#include "tbf/scenario/wlan.h"
+#include "tbf/sweep/sweep_runner.h"
+
+namespace tbf::scenario {
+namespace {
+
+ScenarioConfig QuietCell(TimeNs duration = Sec(20)) {
+  ScenarioConfig config;
+  config.qdisc = QdiscKind::kFifo;
+  config.warmup = 0;  // Task timing needs the full event horizon, not a stats window.
+  config.duration = duration;
+  return config;
+}
+
+const FlowResult& SingleFlow(const Results& res) {
+  EXPECT_EQ(res.flows.size(), 1u);
+  return res.flows.front();
+}
+
+// ---- Exact task delivery ---------------------------------------------------------------
+
+class TaskExactnessTest : public ::testing::TestWithParam<int64_t> {};
+
+TEST_P(TaskExactnessTest, TcpTaskDeliversExactBytes) {
+  Wlan wlan(QuietCell());
+  wlan.AddStation(1, phy::WifiRate::k11Mbps);
+  auto& flow = wlan.AddBulkTcp(1, Direction::kUplink);
+  flow.task_bytes = GetParam();
+  const Results res = wlan.Run();
+  const FlowResult& fr = SingleFlow(res);
+  EXPECT_EQ(fr.bytes_delivered, GetParam());
+  EXPECT_GT(fr.completion_time, 0);
+}
+
+TEST_P(TaskExactnessTest, UdpTaskDeliversExactBytes) {
+  // Regression for the floor-division under-send: any size that is not a multiple of
+  // the 1472-byte payload lost its remainder; sub-packet tasks sent nothing at all.
+  Wlan wlan(QuietCell());
+  wlan.AddStation(1, phy::WifiRate::k11Mbps);
+  FlowSpec spec;
+  spec.client = 1;
+  spec.direction = Direction::kUplink;
+  spec.transport = Transport::kUdp;
+  spec.udp_rate = Mbps(2);  // Below capacity so nothing drops.
+  spec.task_bytes = GetParam();
+  wlan.AddFlow(spec);
+  const Results res = wlan.Run();
+  const FlowResult& fr = SingleFlow(res);
+  EXPECT_EQ(fr.bytes_delivered, GetParam());
+  EXPECT_GT(fr.completion_time, 0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, TaskExactnessTest,
+                         ::testing::Values<int64_t>(300,        // Smaller than one packet.
+                                                    1'000'001,  // Odd, no multiple fits.
+                                                    1'472'000),
+                         [](const auto& info) {
+                           return "bytes" + std::to_string(info.param);
+                         });
+
+// ---- Stagger / warmup independence -----------------------------------------------------
+
+TEST(TaskTimingTest, UdpTaskTimeIndependentOfStartStagger) {
+  auto run = [](TimeNs start) {
+    Wlan wlan(QuietCell());
+    wlan.AddStation(1, phy::WifiRate::k11Mbps);
+    FlowSpec spec;
+    spec.client = 1;
+    spec.direction = Direction::kUplink;
+    spec.transport = Transport::kUdp;
+    spec.udp_rate = Mbps(2);
+    spec.task_bytes = 400'000;
+    spec.start = start;
+    wlan.AddFlow(spec);
+    return SingleFlow(wlan.Run()).completion_time;
+  };
+  const TimeNs base = run(0);
+  EXPECT_GT(base, 0);
+  // Completion is relative to the flow's actual (staggered) start, so shifting the
+  // start leaves the reported task time untouched.
+  EXPECT_EQ(run(Ms(13)), base);
+  EXPECT_EQ(run(Ms(977)), base);
+}
+
+TEST(TaskTimingTest, TcpTaskTimeIndependentOfWarmup) {
+  auto run = [](TimeNs warmup, TimeNs start) {
+    ScenarioConfig config = QuietCell(Sec(20));
+    config.warmup = warmup;
+    Wlan wlan(config);
+    wlan.AddStation(1, phy::WifiRate::k11Mbps);
+    auto& flow = wlan.AddBulkTcp(1, Direction::kUplink);
+    flow.task_bytes = 2'000'000;
+    flow.start = start;
+    return SingleFlow(wlan.Run()).completion_time;
+  };
+  const TimeNs base = run(0, 0);
+  EXPECT_GT(base, 0);
+  // A start inside the warmup window used to shift the reported completion; now the
+  // warmup boundary only frames the goodput window.
+  EXPECT_EQ(run(Sec(2), 0), base);
+  EXPECT_EQ(run(Sec(2), Ms(500)), base);
+}
+
+// ---- Task sequences --------------------------------------------------------------------
+
+TEST(TaskSequenceTest, ReportsOneCompletionPerTask) {
+  Wlan wlan(QuietCell(Sec(30)));
+  wlan.AddStation(1, phy::WifiRate::k11Mbps);
+  wlan.AddTaskSequence(1, Direction::kUplink, 1'000'000, /*count=*/3);
+  const Results res = wlan.Run();
+  const FlowResult& fr = SingleFlow(res);
+  ASSERT_EQ(fr.task_completions.size(), 3u);
+  EXPECT_TRUE(std::is_sorted(fr.task_completions.begin(), fr.task_completions.end()));
+  EXPECT_EQ(fr.completion_time, fr.task_completions.back());
+  // Back-to-back (no gap): per-task durations partition the total completion time.
+  ASSERT_EQ(fr.task_durations.size(), 3u);
+  TimeNs duration_sum = 0;
+  for (const TimeNs d : fr.task_durations) {
+    EXPECT_GT(d, 0);
+    duration_sum += d;
+  }
+  EXPECT_EQ(duration_sum, fr.task_completions.back());
+  // Back-to-back transfers on a warm connection: the whole sequence delivers exactly
+  // 3x the task size.
+  EXPECT_EQ(fr.bytes_delivered, 3'000'000);
+  EXPECT_EQ(res.tasks_completed, 3);
+  EXPECT_NEAR(res.final_task_time_sec, ToSeconds(fr.task_completions.back()), 1e-12);
+}
+
+TEST(TaskSequenceTest, UdpSequenceDeliversEveryTaskExactly) {
+  Wlan wlan(QuietCell(Sec(30)));
+  wlan.AddStation(1, phy::WifiRate::k11Mbps);
+  FlowSpec spec;
+  spec.client = 1;
+  spec.direction = Direction::kDownlink;
+  spec.transport = Transport::kUdp;
+  spec.udp_rate = Mbps(2);
+  spec.model = TrafficModel::kTaskSequence;
+  spec.task_bytes = 333'333;  // Odd on purpose.
+  spec.task_count = 4;
+  spec.task_gap = Ms(250);
+  wlan.AddFlow(spec);
+  const Results res = wlan.Run();
+  const FlowResult& fr = SingleFlow(res);
+  ASSERT_EQ(fr.task_completions.size(), 4u);
+  EXPECT_EQ(fr.bytes_delivered, 4 * 333'333);
+}
+
+TEST(TaskSequenceTest, AppLimitHoldsAcrossSequencedTasks) {
+  // The app-rate cap must keep biting after an idle gap: production credit must not
+  // accrue while the flow waits for the next task, or the follow-up transfer releases
+  // as one burst at full link rate.
+  Wlan wlan(QuietCell(Sec(30)));
+  wlan.AddStation(1, phy::WifiRate::k11Mbps);
+  auto& flow = wlan.AddTaskSequence(1, Direction::kUplink, 500'000, /*count=*/2);
+  flow.task_gap = Sec(2);
+  flow.app_limit_bps = Mbps(2);
+  const Results res = wlan.Run();
+  const FlowResult& fr = SingleFlow(res);
+  ASSERT_EQ(fr.task_durations.size(), 2u);
+  // 500 KB at 2 Mbps needs 2.0 s; allow the initial burst allowance to shave a little.
+  for (const TimeNs d : fr.task_durations) {
+    EXPECT_GT(d, Ms(1800));
+  }
+}
+
+// ---- Web on/off sources ----------------------------------------------------------------
+
+TEST(WebOnOffTest, AlternatesTransfersAndThinkTimes) {
+  ScenarioConfig config = QuietCell(Sec(60));
+  Wlan wlan(config);
+  wlan.AddStation(1, phy::WifiRate::k11Mbps);
+  auto& flow = wlan.AddWebOnOff(1, Direction::kDownlink);
+  flow.onoff.mean_flow_bytes = 64.0 * 1024.0;
+  flow.onoff.mean_think_sec = 1.0;
+  const Results res = wlan.Run();
+  const FlowResult& fr = SingleFlow(res);
+  // With ~64 KB transfers and 1 s think times, a 60 s cell sees many completed tasks.
+  EXPECT_GT(fr.task_completions.size(), 10u);
+  EXPECT_GT(fr.bytes_delivered, 0);
+  EXPECT_EQ(res.tasks_completed,
+            static_cast<int64_t>(fr.task_completions.size()));
+  // Downloads exclude the think times, so their sum stays well below the horizon the
+  // completions span.
+  ASSERT_EQ(fr.task_durations.size(), fr.task_completions.size());
+  TimeNs download_sum = 0;
+  for (const TimeNs d : fr.task_durations) {
+    EXPECT_GT(d, 0);
+    download_sum += d;
+  }
+  EXPECT_LT(download_sum, fr.task_completions.back());
+  // On/off completions embed think times, so they stay out of the Table 1 aggregates.
+  EXPECT_EQ(res.avg_task_time_sec, 0.0);
+  EXPECT_EQ(res.final_task_time_sec, 0.0);
+}
+
+// ---- Packet level vs fluid task model --------------------------------------------------
+
+TEST(TaskModelAgreementTest, PacketLevelMatchesFluidOnTable1Config) {
+  // Table 1 equal-work configuration: a 1 Mbps and an 11 Mbps station, one 4 MB task
+  // each, under throughput fairness (stock FIFO). The packet-level task times should
+  // track the fluid model's within 10%.
+  const auto& betas = model::PaperTable2Baselines();
+  const std::vector<model::Task> tasks = {{betas.at(phy::WifiRate::k1Mbps), 4e6, 1.0},
+                                          {betas.at(phy::WifiRate::k11Mbps), 4e6, 1.0}};
+  const model::TaskOutcome fluid =
+      model::RunTaskModel(tasks, model::FairnessNotion::kThroughputFair);
+
+  ScenarioConfig config = QuietCell(Sec(120));
+  Wlan wlan(config);
+  wlan.AddStation(1, phy::WifiRate::k1Mbps);
+  wlan.AddStation(2, phy::WifiRate::k11Mbps);
+  wlan.AddTaskSequence(1, Direction::kUplink, 4'000'000, 1);
+  wlan.AddTaskSequence(2, Direction::kUplink, 4'000'000, 1);
+  const Results res = wlan.Run();
+
+  ASSERT_EQ(res.tasks_completed, 2);
+  EXPECT_NEAR(res.avg_task_time_sec / fluid.avg_task_time_sec, 1.0, 0.10);
+  EXPECT_NEAR(res.final_task_time_sec / fluid.final_task_time_sec, 1.0, 0.10);
+}
+
+// ---- Sweep determinism of the new scenario kinds ---------------------------------------
+
+std::vector<sweep::ScenarioJob> TrafficModelGrid() {
+  std::vector<sweep::ScenarioJob> jobs;
+  for (const QdiscKind qdisc : {QdiscKind::kFifo, QdiscKind::kTbr}) {
+    sweep::ScenarioJob job;
+    job.config.qdisc = qdisc;
+    job.config.warmup = 0;
+    job.config.duration = Sec(15);
+    job.config.seed = qdisc == QdiscKind::kFifo ? 3 : 4;
+    for (NodeId id = 1; id <= 3; ++id) {
+      StationSpec station;
+      station.id = id;
+      station.rate = id == 1 ? phy::WifiRate::k1Mbps : phy::WifiRate::k11Mbps;
+      job.stations.push_back(station);
+    }
+    FlowSpec onoff;
+    onoff.client = 1;
+    onoff.direction = Direction::kDownlink;
+    onoff.model = TrafficModel::kOnOffWeb;
+    onoff.onoff.mean_flow_bytes = 96.0 * 1024.0;
+    onoff.onoff.mean_think_sec = 1.5;
+    job.flows.push_back(onoff);
+
+    FlowSpec seq;
+    seq.client = 2;
+    seq.direction = Direction::kUplink;
+    seq.model = TrafficModel::kTaskSequence;
+    seq.task_bytes = 750'000;
+    seq.task_count = 3;
+    seq.task_gap = Ms(100);
+    job.flows.push_back(seq);
+
+    FlowSpec udp_seq;
+    udp_seq.client = 3;
+    udp_seq.direction = Direction::kDownlink;
+    udp_seq.transport = Transport::kUdp;
+    udp_seq.udp_rate = Mbps(2);
+    udp_seq.model = TrafficModel::kTaskSequence;
+    udp_seq.task_bytes = 300'001;
+    udp_seq.task_count = 2;
+    job.flows.push_back(udp_seq);
+    jobs.push_back(std::move(job));
+  }
+  return jobs;
+}
+
+TEST(TrafficModelSweepTest, OnOffAndSequencesBitIdenticalAcrossPoolSizes) {
+  const std::vector<sweep::ScenarioJob> jobs = TrafficModelGrid();
+  sweep::SweepRunner serial(1);
+  const std::vector<Results> reference = serial.RunScenarios(jobs);
+  ASSERT_EQ(reference.size(), jobs.size());
+  for (const Results& r : reference) {
+    EXPECT_GT(r.tasks_completed, 0);  // The grid exercises the new task paths.
+    EXPECT_GT(r.aggregate_bps, 0.0);
+  }
+  for (int pool_size : {2, 4}) {
+    sweep::SweepRunner parallel(pool_size);
+    const std::vector<Results> out = parallel.RunScenarios(jobs);
+    ASSERT_EQ(out.size(), reference.size());
+    for (size_t i = 0; i < out.size(); ++i) {
+      EXPECT_EQ(out[i], reference[i]) << "pool=" << pool_size << " job=" << i;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace tbf::scenario
