@@ -10,6 +10,11 @@ Usage:
 With only --after, emits the measurement without speedup fields (trajectory snapshot).
 Schema: see bench/README.md ("tbf-bench-v1").
 
+Scenario sections: --scenarios scenarios.json embeds the given JSON document verbatim
+under the output's "scenarios" key - the headline numbers of scenario-level benches
+(fig6, table1_packet_level, trace_replay) ride along with the micro trajectory, so one
+BENCH_*.json carries both views of a PR.
+
 Gate mode: --gate-against BENCH_prN.json [--max-regression 2.0] additionally compares
 this run's times against a committed trajectory file and exits non-zero when any common
 benchmark regressed by more than the factor. The tolerance is deliberately loose (2x by
@@ -81,6 +86,9 @@ def main():
     ap.add_argument("--after", required=True, help="google-benchmark JSON of this build")
     ap.add_argument("--tag", required=True, help="trajectory tag, e.g. pr1")
     ap.add_argument("--out", required=True, help="output BENCH_*.json path")
+    ap.add_argument("--scenarios",
+                    help="JSON file embedded verbatim as the output's \"scenarios\" key "
+                         "(scenario-bench headline numbers)")
     ap.add_argument("--gate-against",
                     help="committed BENCH_*.json to gate against (fail on regression)")
     ap.add_argument("--max-regression", type=float, default=2.0,
@@ -112,6 +120,9 @@ def main():
         },
         "benchmarks": benchmarks,
     }
+    if args.scenarios:
+        with open(args.scenarios) as f:
+            doc["scenarios"] = json.load(f)
     with open(args.out, "w") as f:
         json.dump(doc, f, indent=2)
         f.write("\n")

@@ -3,12 +3,19 @@
 //   1. generate (or load) a frame-level trace of a residence-hall AP;
 //   2. measure rate diversity (is the precondition present?);
 //   3. find congested intervals and check whether they are multi-user;
-//   4. if both hold, estimate the aggregate win from switching to time-based fairness.
+//   4. if both hold, estimate the aggregate win from switching to time-based fairness;
+//   5. *replay* a slice of the capture through the full simulated cell under both
+//      policies and read back measured latency percentiles - the fluid estimate of
+//      step 4 checked against simulated, not just generated, timings.
 #include <cstdio>
+#include <set>
 
 #include "tbf/model/baseline.h"
 #include "tbf/model/fairness_model.h"
+#include "tbf/scenario/wlan.h"
+#include "tbf/sweep/sweep_runner.h"
 #include "tbf/trace/generators.h"
+#include "tbf/trace/replay.h"
 #include "tbf/trace/trace.h"
 #include "tbf/stats/table.h"
 
@@ -67,5 +74,86 @@ int main() {
   table.Print();
   std::printf("\nPredicted aggregate gain from TBR: %s\n",
               stats::Table::PercentDelta(tf / rf).c_str());
+
+  // Step 5: the fluid prediction is a capacity argument; user experience is a latency
+  // distribution. Replay the first minutes of the capture through the simulator under
+  // both policies and read the measured per-transfer percentiles back.
+  trace::ReplayOptions replay_options;
+  replay_options.horizon = Sec(10 * 60);
+  const trace::TraceReplaySource source(dorm, replay_options);
+  int64_t logged_transfers = 0;
+  std::set<NodeId> replay_users;
+  for (const trace::ReplayFlow& flow : source.flows()) {
+    logged_transfers += static_cast<int64_t>(flow.tasks.size());
+    replay_users.insert(flow.node);  // Flows are per (node, direction), users are nodes.
+  }
+  std::printf("\nReplaying the first %.0f min of the capture through the simulated "
+              "cell (%zu users,\n%lld transfers, %.1f MB)...\n",
+              ToSeconds(replay_options.horizon) / 60.0, replay_users.size(),
+              static_cast<long long>(logged_transfers),
+              static_cast<double>(source.total_bytes()) / 1e6);
+
+  // Three policies: today's FIFO, stock TBR, and TBR with the packet-level
+  // work-conserving fallback - the latter separates what the backlog costs: equal
+  // *initial* time shares taxing cold bursts vs the regulator idling the channel.
+  struct Policy {
+    const char* name;
+    scenario::QdiscKind kind;
+    bool work_conserving;
+  };
+  const Policy policies[] = {
+      {"today (DCF+FIFO)", scenario::QdiscKind::kFifo, false},
+      {"with TBR", scenario::QdiscKind::kTbr, false},
+      {"with TBR (work-conserving)", scenario::QdiscKind::kTbr, true},
+  };
+
+  std::vector<sweep::ScenarioJob> jobs;
+  for (const Policy& policy : policies) {
+    sweep::ScenarioJob job;
+    job.config.qdisc = policy.kind;
+    job.config.tbr.work_conserving_fallback = policy.work_conserving;
+    job.config.warmup = 0;
+    job.config.duration = source.last_arrival() + Sec(300);
+    for (int user = 1; user <= residence.users; ++user) {
+      scenario::StationSpec station;
+      station.id = user;
+      // The residence capture does not log PHY rates per user; model the audited rate
+      // diversity by parking every sixth user on a slow rung (mild diversity - the
+      // cell must still be able to carry the capture's byte volume at all).
+      station.rate = user % 6 == 0 ? phy::WifiRate::k5_5Mbps : phy::WifiRate::k11Mbps;
+      job.stations.push_back(station);
+    }
+    for (const trace::ReplayFlow& flow : source.flows()) {
+      job.flows.push_back(scenario::MakeTraceReplaySpec(flow));
+    }
+    jobs.push_back(std::move(job));
+  }
+  sweep::SweepRunner runner;
+  const std::vector<scenario::Results> replayed = runner.RunScenarios(jobs);
+
+  stats::Table measured({"policy", "transfers", "replayed MB", "p50 xfer s",
+                         "p95 xfer s", "p99 xfer s", "p95 AP queue ms"});
+  for (size_t i = 0; i < replayed.size(); ++i) {
+    const scenario::Results& res = replayed[i];
+    int64_t delivered = 0;
+    for (const auto& fr : res.flows) {
+      delivered += fr.bytes_delivered;
+    }
+    measured.AddRow({policies[i].name, std::to_string(res.tasks_completed),
+                     stats::Table::Num(static_cast<double>(delivered) / 1e6, 1),
+                     stats::Table::Num(ToSeconds(res.task_latency.p50), 2),
+                     stats::Table::Num(ToSeconds(res.task_latency.p95), 2),
+                     stats::Table::Num(ToSeconds(res.task_latency.p99), 2),
+                     stats::Table::Num(res.ap_queue_delay.P95Ms(), 1)});
+  }
+  measured.Print();
+  std::printf("\nThe percentile rows are simulated user experience, not generator "
+              "output: each logged\ntransfer re-ran through DCF/TCP/the AP qdisc. A "
+              "transfer count below the capture's\nmeans that policy left work "
+              "backlogged past the audit window - itself a finding: with\nthis many "
+              "mostly-idle users, stock TBR's equal initial time shares tax every "
+              "cold\nburst at 1/N until the 500 ms adjuster converges "
+              "(tests/trace_replay_test.cpp pins\nthe effect; a burst-credit "
+              "experiment is the ROADMAP candidate to fix it).\n");
   return 0;
 }

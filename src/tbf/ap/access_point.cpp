@@ -20,6 +20,7 @@ void AccessPoint::Associate(NodeId client) { qdisc_->OnAssociate(client); }
 
 void AccessPoint::EnqueueDownlink(net::PacketPtr packet) {
   TBF_CHECK(packet->wlan_client != kInvalidNodeId) << "downlink packet without client";
+  packet->ap_enqueued = sim_->Now();
   if (qdisc_->Enqueue(std::move(packet))) {
     entity_.NotifyBacklog();
   }
@@ -29,6 +30,9 @@ std::optional<mac::MacFrame> AccessPoint::NextFrame() {
   net::PacketPtr p = qdisc_->Dequeue();
   if (p == nullptr) {
     return std::nullopt;
+  }
+  if (queue_delay_fn_ && p->ap_enqueued >= 0 && p->flow_id >= 0) {
+    queue_delay_fn_(p->flow_id, p->wlan_client, sim_->Now() - p->ap_enqueued);
   }
   const NodeId client = p->wlan_client;
   const NodeId dst = p->dst;

@@ -22,6 +22,12 @@ namespace tbf::ap {
 
 class AccessPoint : public mac::FrameProvider, public mac::FrameSink, public mac::MediumObserver {
  public:
+  // Reports, per packet leaving the qdisc toward the MAC, how long it waited inside
+  // (enqueue-to-dequeue). Fires for every flow-tagged packet the AP transmits: downlink
+  // data, and the returning acks of uplink TCP flows - the latter being exactly where
+  // TBR's ack-withholding lever shows up as delay.
+  using QueueDelayFn = std::function<void(int flow_id, NodeId client, TimeNs delay)>;
+
   AccessPoint(sim::Simulator* sim, mac::Medium* medium, std::unique_ptr<Qdisc> qdisc,
               rateadapt::RateController* rates);
 
@@ -47,6 +53,8 @@ class AccessPoint : public mac::FrameProvider, public mac::FrameSink, public mac
   // mac::MediumObserver - the driver's view of channel exchanges (uplink accounting).
   void OnExchange(const mac::ExchangeRecord& record) override;
 
+  void SetQueueDelayFn(QueueDelayFn fn) { queue_delay_fn_ = std::move(fn); }
+
   Qdisc& qdisc() { return *qdisc_; }
   mac::DcfEntity& entity() { return entity_; }
   int64_t downlink_drops() const { return qdisc_->drops(); }
@@ -55,6 +63,7 @@ class AccessPoint : public mac::FrameProvider, public mac::FrameSink, public mac
  private:
   sim::Simulator* sim_;
   std::unique_ptr<Qdisc> qdisc_;
+  QueueDelayFn queue_delay_fn_;
   rateadapt::RateController* rates_;
   net::WiredLink* wired_ = nullptr;
   int64_t forwarded_uplink_ = 0;

@@ -31,6 +31,10 @@ struct Packet {
   int64_t ack = 0;      // TCP: cumulative ack number.
 
   TimeNs created = 0;
+  // Stamped by the AP when the packet enters its transmit qdisc; the dequeue-side
+  // delta is the packet's AP queueing delay (the metrology layer's qdisc tap, and the
+  // quantity TBR's token regulation directly manipulates). -1 = never queued at the AP.
+  TimeNs ap_enqueued = -1;
 
   int PayloadBytes() const {
     switch (proto) {

@@ -255,6 +255,9 @@ void TcpSender::DisarmRto() {
 }
 
 void TcpSender::UpdateRtt(TimeNs sample) {
+  if (on_rtt_sample_) {
+    on_rtt_sample_(sample);
+  }
   if (srtt_ == 0) {
     srtt_ = sample;
     rttvar_ = sample / 2;

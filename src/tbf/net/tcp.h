@@ -46,6 +46,9 @@ class TcpSender : public PacketHandler {
   using SendFn = std::function<void(PacketPtr)>;
   // Invoked each time a finite task finishes (its final byte is cumulatively acked).
   using TaskDoneFn = std::function<void()>;
+  // Invoked with every raw RTT sample (Karn-filtered: first transmissions only), before
+  // smoothing - the per-flow latency meters consume the sample distribution, not srtt.
+  using RttSampleFn = std::function<void(TimeNs sample)>;
 
   TcpSender(sim::Simulator* sim, TcpConfig config, FlowAddress addr, SendFn send);
 
@@ -54,6 +57,7 @@ class TcpSender : public PacketHandler {
   // Cap the application's supply rate (paper Table 4's bottleneck emulation). 0 = off.
   void SetAppLimitBps(BitRate bps) { app_limit_bps_ = bps; }
   void SetOnTaskComplete(TaskDoneFn fn) { on_task_complete_ = std::move(fn); }
+  void SetRttSampleFn(RttSampleFn fn) { on_rtt_sample_ = std::move(fn); }
 
   // Appends another finite transfer of `bytes` to this connection (back-to-back tasks
   // on a persistent connection: the sequence space and congestion state carry over).
@@ -96,6 +100,7 @@ class TcpSender : public PacketHandler {
   FlowAddress addr_;
   SendFn send_;
   TaskDoneFn on_task_complete_;
+  RttSampleFn on_rtt_sample_;
 
   bool started_ = false;
   // Cumulative task target in the connection's byte-sequence space (grown by AddTask).

@@ -2,12 +2,41 @@
 #ifndef TBF_SCENARIO_RESULTS_H_
 #define TBF_SCENARIO_RESULTS_H_
 
+#include <cmath>
 #include <map>
 #include <vector>
 
+#include "tbf/stats/quantile_sketch.h"
 #include "tbf/util/units.h"
 
 namespace tbf::scenario {
+
+// Streaming percentile readout of one latency meter. Values come from the run's
+// QuantileSketch, so each percentile is within the sketch's documented relative error
+// (default 1%) of the exact empirical quantile. All zero when the meter saw no samples.
+struct LatencySummary {
+  int64_t count = 0;
+  TimeNs p50 = 0;
+  TimeNs p95 = 0;
+  TimeNs p99 = 0;
+
+  friend bool operator==(const LatencySummary&, const LatencySummary&) = default;
+
+  static LatencySummary FromSketch(const stats::QuantileSketch& sketch) {
+    LatencySummary out;
+    out.count = sketch.count();
+    if (out.count > 0) {
+      out.p50 = static_cast<TimeNs>(std::llround(sketch.Quantile(0.50)));
+      out.p95 = static_cast<TimeNs>(std::llround(sketch.Quantile(0.95)));
+      out.p99 = static_cast<TimeNs>(std::llround(sketch.Quantile(0.99)));
+    }
+    return out;
+  }
+
+  double P50Ms() const { return ToMillis(p50); }
+  double P95Ms() const { return ToMillis(p95); }
+  double P99Ms() const { return ToMillis(p99); }
+};
 
 struct FlowResult {
   int flow_id = -1;
@@ -24,10 +53,25 @@ struct FlowResult {
   std::vector<TimeNs> task_completions;
   // Per-task transfer latency: completion minus the moment that task's transfer began
   // (think/gap time excluded). For back-to-back sequences these sum to the last
-  // completion; for on/off flows they are the user-visible download times.
+  // completion; for on/off flows they are the user-visible download times. Trace-replay
+  // tasks anchor at their *logged* due time instead of the actual launch, so a replay
+  // backlogged by a slow policy charges the user's waiting time to the transfer
+  // (sojourn time) rather than silently excluding it.
   std::vector<TimeNs> task_durations;
   int64_t retransmits = 0;
   int64_t timeouts = 0;
+
+  // Per-flow latency percentiles, metered over the whole run (tasks routinely span the
+  // warmup boundary, so latency meters are not windowed the way goodput is):
+  //  rtt          - raw TCP RTT samples at the sender (Karn-filtered; empty for UDP).
+  //  queue_delay  - AP qdisc residency of this flow's packets: downlink data for
+  //                 downlink flows, returning acks for uplink TCP flows (TBR's
+  //                 ack-withholding lever measured directly).
+  //  task_latency - per-task transfer durations (same samples as task_durations;
+  //                 trace-replay tasks measure sojourn from their logged arrival).
+  LatencySummary rtt;
+  LatencySummary queue_delay;
+  LatencySummary task_latency;
 
   // Exact (bitwise on doubles) equality - sweep determinism checks compare a parallel
   // run's Results against the serial run's, which must match exactly, not approximately.
@@ -56,6 +100,17 @@ struct Results {
   int64_t mac_collisions = 0;
   int64_t mac_exchanges = 0;
   int64_t ap_drops = 0;
+
+  // Cell-wide latency percentiles (every flow's meter merged) plus the merged sketches
+  // themselves, so benches can pool cells across seeds - sketch merges are commutative
+  // and associative, hence deterministic in any pooling order - and read percentiles
+  // from the pooled distribution instead of averaging per-cell percentiles.
+  LatencySummary rtt;
+  LatencySummary ap_queue_delay;
+  LatencySummary task_latency;
+  stats::QuantileSketch rtt_sketch;
+  stats::QuantileSketch ap_queue_delay_sketch;
+  stats::QuantileSketch task_latency_sketch;
 
   friend bool operator==(const Results&, const Results&) = default;
 

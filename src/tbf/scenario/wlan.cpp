@@ -53,8 +53,18 @@ struct Wlan::FlowRuntime {
   int64_t task_target = 0;
   int tasks_started = 0;
   TimeNs task_started_at = 0;            // When the task in flight began transferring.
+  // kTraceReplay: the next task's logged due time. Durations anchor here instead of at
+  // the actual launch, so a backlogged replay charges the user's waiting time to the
+  // transfer (sojourn from logged arrival) instead of silently excluding it. -1 = unset.
+  TimeNs next_task_due = -1;
   std::vector<TimeNs> task_completions;  // Absolute sim times, converted on readout.
   std::vector<TimeNs> task_durations;    // Completion minus that task's transfer start.
+  size_t replay_next = 1;                // kTraceReplay: index of the next logged task.
+
+  // Streaming latency meters (see FlowResult for what each one samples).
+  stats::QuantileSketch rtt_sketch;
+  stats::QuantileSketch queue_delay_sketch;
+  stats::QuantileSketch task_latency_sketch;
 
   bool HasTasks() const { return task_target > 0; }
 };
@@ -120,6 +130,20 @@ FlowSpec& Wlan::AddTaskSequence(NodeId client, Direction direction, int64_t byte
   spec.task_bytes = bytes;
   spec.task_count = count;
   return AddFlow(spec);
+}
+
+FlowSpec MakeTraceReplaySpec(const trace::ReplayFlow& flow, Transport transport) {
+  FlowSpec spec;
+  spec.client = flow.node;
+  spec.direction = flow.downlink ? Direction::kDownlink : Direction::kUplink;
+  spec.transport = transport;
+  spec.model = TrafficModel::kTraceReplay;
+  spec.replay = flow.tasks;
+  return spec;
+}
+
+FlowSpec& Wlan::AddTraceReplay(const trace::ReplayFlow& flow, Transport transport) {
+  return AddFlow(MakeTraceReplaySpec(flow, transport));
 }
 
 std::unique_ptr<ap::Qdisc> Wlan::MakeQdisc() {
@@ -235,9 +259,12 @@ void Wlan::Build() {
     FlowRuntime* rt_ptr = rt.get();
     auto deliver = [this, rt_ptr](int64_t bytes) { OnDelivered(rt_ptr, bytes); };
 
-    // Size of the first transfer: the spec's task size, or an on/off draw. 0 keeps the
-    // flow unbounded (kBulk fluid transfer).
+    // Size of the first transfer: the spec's task size, an on/off draw, or the trace's
+    // first logged transfer. 0 keeps the flow unbounded (kBulk fluid transfer).
+    // `flow_start` is where the first transfer begins; trace replays anchor it at the
+    // first logged arrival so later transfers keep their logged offsets from it.
     int64_t first_task = 0;
+    TimeNs flow_start = spec.start;
     switch (spec.model) {
       case TrafficModel::kBulk:
         first_task = spec.task_bytes;
@@ -249,6 +276,14 @@ void Wlan::Build() {
         break;
       case TrafficModel::kOnOffWeb:
         first_task = spec.onoff.DrawFlowBytes(*rng_);
+        break;
+      case TrafficModel::kTraceReplay:
+        TBF_CHECK(!spec.replay.empty()) << "trace replay flows need logged tasks";
+        for (const trace::ReplayTask& task : spec.replay) {
+          TBF_CHECK(task.bytes > 0) << "trace replay tasks must carry bytes";
+        }
+        first_task = spec.replay.front().bytes;
+        flow_start += spec.replay.front().at;
         break;
     }
     rt->task_target = first_task;
@@ -268,9 +303,11 @@ void Wlan::Build() {
       if (spec.app_limit_bps > 0) {
         rt->tcp_sender->SetAppLimitBps(spec.app_limit_bps);
       }
+      rt->tcp_sender->SetRttSampleFn(
+          [rt_ptr](TimeNs sample) { rt_ptr->rtt_sketch.Add(static_cast<double>(sample)); });
       demux_->Register(addr.sender, addr.flow_id, rt->tcp_sender.get());
       demux_->Register(addr.receiver, addr.flow_id, rt->tcp_receiver.get());
-      rt->actual_start = spec.start;
+      rt->actual_start = flow_start;
       rt->tcp_sender->Start(rt->actual_start);
     } else {
       // The source packetizes finite tasks itself (ceiling division with a trimmed
@@ -281,12 +318,21 @@ void Wlan::Build() {
       rt->udp_sink = std::make_unique<net::UdpSink>(deliver);
       demux_->Register(addr.receiver, addr.flow_id, rt->udp_sink.get());
       // Stagger CBR starts so synchronized sources do not phase-lock on shared queues.
-      rt->actual_start = spec.start + rt->flow_id * Us(97);
+      rt->actual_start = flow_start + rt->flow_id * Us(97);
       rt->udp_source->Start(rt->actual_start);
     }
     rt->task_started_at = rt->actual_start;  // The first task transfers from the start.
     flows_.push_back(std::move(rt));
   }
+
+  // AP qdisc residency tap: attribute each transmitted packet's queueing delay to its
+  // flow's meter (flow ids are assigned densely from 1 in flows_ order).
+  ap_->SetQueueDelayFn([this](int flow_id, NodeId /*client*/, TimeNs delay) {
+    if (flow_id >= 1 && static_cast<size_t>(flow_id) <= flows_.size()) {
+      flows_[static_cast<size_t>(flow_id) - 1]->queue_delay_sketch.Add(
+          static_cast<double>(delay));
+    }
+  });
 }
 
 void Wlan::OnDelivered(FlowRuntime* rt, int64_t bytes) {
@@ -303,6 +349,7 @@ void Wlan::OnDelivered(FlowRuntime* rt, int64_t bytes) {
 void Wlan::OnTaskComplete(FlowRuntime* rt) {
   rt->task_completions.push_back(sim_.Now());
   rt->task_durations.push_back(sim_.Now() - rt->task_started_at);
+  rt->task_latency_sketch.Add(static_cast<double>(rt->task_durations.back()));
   const FlowSpec& spec = rt->spec;
   switch (spec.model) {
     case TrafficModel::kBulk:
@@ -317,13 +364,29 @@ void Wlan::OnTaskComplete(FlowRuntime* rt) {
       // deterministic, so the rng stream is too).
       QueueNextTask(rt, spec.onoff.DrawFlowBytes(*rng_), spec.onoff.DrawThinkNs(*rng_));
       break;
+    case TrafficModel::kTraceReplay:
+      // Launch the next logged transfer at its logged offset from the flow's start; if
+      // the cell ran slower than the capture and that moment has passed, launch now
+      // (the user is backlogged, not skipped - every logged byte still gets delivered,
+      // and the duration anchor stays at the logged due time so the wait is measured).
+      if (rt->replay_next < spec.replay.size()) {
+        const trace::ReplayTask& next = spec.replay[rt->replay_next++];
+        const TimeNs due = rt->actual_start + (next.at - spec.replay.front().at);
+        rt->next_task_due = due;
+        QueueNextTask(rt, next.bytes, std::max<TimeNs>(0, due - sim_.Now()));
+      }
+      break;
   }
 }
 
 void Wlan::QueueNextTask(FlowRuntime* rt, int64_t bytes, TimeNs delay) {
   ++rt->tasks_started;
   auto launch = [this, rt, bytes] {
-    rt->task_started_at = sim_.Now();
+    // Replay tasks anchor at their logged due time (== now unless the launch was held
+    // back by the previous task, i.e. the user was backlogged); everything else starts
+    // its clock when the transfer actually begins.
+    rt->task_started_at = rt->next_task_due >= 0 ? rt->next_task_due : sim_.Now();
+    rt->next_task_due = -1;
     rt->task_target += bytes;
     if (rt->tcp_sender != nullptr) {
       rt->tcp_sender->AddTask(bytes);
@@ -399,9 +462,12 @@ Results Wlan::Run() {
     // CBR stagger), so they do not shift with the stagger or the warmup boundary.
     // The Table 1 aggregates use cumulative transfer durations - idle time (task_gap,
     // think) excluded, matching the fluid model's gap-free schedule; they coincide with
-    // the completions for back-to-back sequences. On/off flows count toward
-    // tasks_completed but stay out of the aggregates entirely (mostly think time).
-    const bool table1_flow = flow->spec.model != TrafficModel::kOnOffWeb;
+    // the completions for back-to-back sequences. On/off and trace-replay flows count
+    // toward tasks_completed but stay out of the aggregates entirely: their duration
+    // timelines embed think times / the capture's arrival structure (and, for replay,
+    // backlog wait), not a gap-free task schedule.
+    const bool table1_flow = flow->spec.model == TrafficModel::kBulk ||
+                             flow->spec.model == TrafficModel::kTaskSequence;
     fr.task_completions.reserve(flow->task_completions.size());
     TimeNs transfer_elapsed = 0;
     for (size_t i = 0; i < flow->task_completions.size(); ++i) {
@@ -423,6 +489,12 @@ Results Wlan::Run() {
       fr.retransmits = flow->tcp_sender->retransmits();
       fr.timeouts = flow->tcp_sender->timeouts();
     }
+    fr.rtt = LatencySummary::FromSketch(flow->rtt_sketch);
+    fr.queue_delay = LatencySummary::FromSketch(flow->queue_delay_sketch);
+    fr.task_latency = LatencySummary::FromSketch(flow->task_latency_sketch);
+    results.rtt_sketch.Merge(flow->rtt_sketch);
+    results.ap_queue_delay_sketch.Merge(flow->queue_delay_sketch);
+    results.task_latency_sketch.Merge(flow->task_latency_sketch);
     results.goodput_bps[flow->spec.client] += fr.goodput_bps;
     results.aggregate_bps += fr.goodput_bps;
     results.flows.push_back(fr);
@@ -430,6 +502,9 @@ Results Wlan::Run() {
   if (table1_tasks > 0) {
     results.avg_task_time_sec = sum_task_sec / static_cast<double>(table1_tasks);
   }
+  results.rtt = LatencySummary::FromSketch(results.rtt_sketch);
+  results.ap_queue_delay = LatencySummary::FromSketch(results.ap_queue_delay_sketch);
+  results.task_latency = LatencySummary::FromSketch(results.task_latency_sketch);
 
   results.utilization =
       static_cast<double>(medium_->busy_time() - busy_at_warmup) / config_.duration;

@@ -22,7 +22,9 @@
 #include "tbf/rateadapt/rate_controller.h"
 #include "tbf/scenario/results.h"
 #include "tbf/sim/simulator.h"
+#include "tbf/stats/quantile_sketch.h"
 #include "tbf/trace/distributions.h"
+#include "tbf/trace/replay.h"
 
 namespace tbf::scenario {
 
@@ -39,7 +41,11 @@ enum class QdiscKind { kFifo, kRoundRobin, kDrr, kTbr, kOarBurst };
 //  kOnOffWeb:     endless web-era on/off source - Pareto-sized transfers separated by
 //                 exponential think times (trace/distributions.h samplers, the same
 //                 distributions the synthetic trace generators draw from).
-enum class TrafficModel { kBulk, kTaskSequence, kOnOffWeb };
+//  kTraceReplay:  replays one trace::ReplayFlow (FlowSpec::replay): each logged transfer
+//                 launches at its logged offset from the flow's start - or when the
+//                 previous transfer completes, whichever is later - and delivers exactly
+//                 its logged bytes via the restartable finite-task sources.
+enum class TrafficModel { kBulk, kTaskSequence, kOnOffWeb, kTraceReplay };
 
 struct StationSpec {
   NodeId id = kInvalidNodeId;
@@ -62,11 +68,21 @@ struct FlowSpec {
   int task_count = 1;           // kTaskSequence: number of back-to-back transfers.
   TimeNs task_gap = 0;          // kTaskSequence: idle gap between transfers.
   trace::OnOffSampler onoff;    // kOnOffWeb: flow-size / think-time distributions.
+  // kTraceReplay: the logged transfers, in trace order. Task launch offsets are taken
+  // relative to the first task's timestamp, anchored at the flow's actual start (so a
+  // shifted `start` shifts the whole replay without changing its internal timing).
+  std::vector<trace::ReplayTask> replay;
   BitRate app_limit_bps = 0;    // TCP sender-side application cap (0 = none).
   BitRate udp_rate = Mbps(8);   // CBR rate for UDP sources.
   int packet_bytes = 1500;      // IP datagram size.
   TimeNs start = 0;
 };
+
+// Converts a recovered trace flow into a kTraceReplay FlowSpec - the one place the
+// ReplayFlow -> FlowSpec mapping lives, shared by Wlan::AddTraceReplay and the
+// declarative ScenarioJob builders in benches/examples.
+FlowSpec MakeTraceReplaySpec(const trace::ReplayFlow& flow,
+                             Transport transport = Transport::kTcp);
 
 struct ScenarioConfig {
   QdiscKind qdisc = QdiscKind::kFifo;
@@ -101,6 +117,10 @@ class Wlan {
   FlowSpec& AddWebOnOff(NodeId client, Direction direction);
   // `count` finite TCP transfers of `bytes` each, back to back.
   FlowSpec& AddTaskSequence(NodeId client, Direction direction, int64_t bytes, int count);
+  // Replays one recovered trace flow (see trace::TraceReplaySource); the station for
+  // `flow.node` must be declared separately. Direction comes from the trace record.
+  FlowSpec& AddTraceReplay(const trace::ReplayFlow& flow,
+                           Transport transport = Transport::kTcp);
 
   // Constructs the full stack without running. Call when pre-run configuration of live
   // components is needed (e.g. TBR weights); Run() builds implicitly otherwise.

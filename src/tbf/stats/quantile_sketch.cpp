@@ -1,0 +1,84 @@
+#include "tbf/stats/quantile_sketch.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "tbf/util/logging.h"
+
+namespace tbf::stats {
+
+QuantileSketch::QuantileSketch(double relative_error)
+    : relative_error_(relative_error),
+      gamma_((1.0 + relative_error) / (1.0 - relative_error)),
+      log_gamma_(std::log(gamma_)) {
+  TBF_CHECK(relative_error > 0.0 && relative_error < 1.0);
+  // Bucket i covers (gamma^(i-1), gamma^i]; index 0 is everything <= kMinValue.
+  bucket_count_ =
+      static_cast<int>(std::ceil(std::log(kMaxValue / kMinValue) / log_gamma_)) + 1;
+}
+
+int QuantileSketch::BucketIndex(double value) const {
+  if (!(value > kMinValue)) {  // NaN and below-range both land in the bottom bucket.
+    return 0;
+  }
+  const int index = static_cast<int>(std::ceil(std::log(value / kMinValue) / log_gamma_));
+  return std::min(index, bucket_count_ - 1);
+}
+
+void QuantileSketch::Add(double value) {
+  if (counts_.empty()) {
+    counts_.assign(static_cast<size_t>(bucket_count_), 0);
+    min_ = value;
+    max_ = value;
+  } else {
+    min_ = std::min(min_, value);
+    max_ = std::max(max_, value);
+  }
+  ++counts_[static_cast<size_t>(BucketIndex(value))];
+  ++count_;
+}
+
+void QuantileSketch::Merge(const QuantileSketch& other) {
+  TBF_CHECK(relative_error_ == other.relative_error_)
+      << "merging sketches with different error bounds";
+  if (other.count_ == 0) {
+    return;
+  }
+  if (count_ == 0) {
+    *this = other;
+    return;
+  }
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+  count_ += other.count_;
+  for (size_t i = 0; i < counts_.size(); ++i) {
+    counts_[i] += other.counts_[i];
+  }
+}
+
+double QuantileSketch::Quantile(double q) const {
+  if (count_ == 0) {
+    return 0.0;
+  }
+  q = std::clamp(q, 0.0, 1.0);
+  const int64_t rank =
+      std::max<int64_t>(1, static_cast<int64_t>(std::ceil(q * static_cast<double>(count_))));
+  int64_t cumulative = 0;
+  size_t bucket = counts_.size() - 1;
+  for (size_t i = 0; i < counts_.size(); ++i) {
+    cumulative += counts_[i];
+    if (cumulative >= rank) {
+      bucket = i;
+      break;
+    }
+  }
+  // Geometric midpoint of (gamma^(i-1), gamma^i], within (1 +- e) of every value in the
+  // bucket. Bucket 0 holds values at or below kMinValue; its representative is the range
+  // floor, and the clamp below substitutes the exact min when every sample sits there.
+  const double representative =
+      bucket == 0 ? kMinValue
+                  : 2.0 * std::pow(gamma_, static_cast<double>(bucket)) / (gamma_ + 1.0);
+  return std::clamp(representative, min_, max_);
+}
+
+}  // namespace tbf::stats

@@ -1,0 +1,59 @@
+#include "tbf/trace/replay.h"
+
+#include <algorithm>
+#include <map>
+#include <utility>
+
+namespace tbf::trace {
+
+TraceReplaySource::TraceReplaySource(const TraceLog& log, ReplayOptions options)
+    : options_(options) {
+  // Bucket records per (node, direction). Generators emit each user's records in time
+  // order but interleave users arbitrarily, so each bucket is sorted before coalescing
+  // (stable: equal timestamps keep trace order).
+  std::map<std::pair<NodeId, bool>, std::vector<const TraceRecord*>> by_flow;
+  for (const TraceRecord& r : log.records()) {
+    if (r.retry && !options_.include_retries) {
+      continue;
+    }
+    if (!r.success && !options_.include_failures) {
+      continue;
+    }
+    if (r.bytes <= 0) {
+      continue;
+    }
+    by_flow[{r.node, r.downlink}].push_back(&r);
+  }
+
+  for (auto& [key, records] : by_flow) {
+    std::stable_sort(records.begin(), records.end(),
+                     [](const TraceRecord* a, const TraceRecord* b) {
+                       return a->time < b->time;
+                     });
+    ReplayFlow flow;
+    flow.node = key.first;
+    flow.downlink = key.second;
+    TimeNs last_seen = 0;
+    for (const TraceRecord* r : records) {
+      if (flow.tasks.empty() || r->time - last_seen > options_.task_gap) {
+        if (options_.horizon > 0 && r->time >= options_.horizon) {
+          break;  // Records are sorted; every later transfer starts past the horizon.
+        }
+        flow.tasks.push_back({r->time, 0});
+      }
+      flow.tasks.back().bytes += r->bytes;
+      last_seen = r->time;
+    }
+    if (flow.tasks.empty()) {
+      continue;
+    }
+    for (const ReplayTask& task : flow.tasks) {
+      flow.total_bytes += task.bytes;
+      last_arrival_ = std::max(last_arrival_, task.at);
+    }
+    total_bytes_ += flow.total_bytes;
+    flows_.push_back(std::move(flow));
+  }
+}
+
+}  // namespace tbf::trace
