@@ -16,11 +16,30 @@
 #include <utility>
 #include <vector>
 
+#if defined(__GLIBC__)
+#include <malloc.h>
+#endif
+
 #include "tbf/scenario/wlan.h"
 #include "tbf/stats/table.h"
 #include "tbf/sweep/sweep_runner.h"
 
 namespace tbf::bench {
+
+// Bench processes run thousands of scenario lifecycles back to back, and each teardown
+// frees a multi-megabyte working set (packet pool slabs, event slab, sketches) in one
+// contiguous block at the top of the heap. glibc's default trim policy then returns
+// those pages to the kernel and the very next scenario page-faults them all back in -
+// a 1.5-2x wall-clock tax on the scenario benches that has nothing to do with
+// simulation cost. Keep the peak working set resident instead (the equivalent
+// environment knob is MALLOC_TRIM_THRESHOLD_=-1, used when measuring baseline builds
+// that predate this header).
+inline const bool g_malloc_trim_disabled = [] {
+#if defined(__GLIBC__)
+  mallopt(M_TRIM_THRESHOLD, -1);
+#endif
+  return true;
+}();
 
 inline scenario::ScenarioConfig StandardConfig(scenario::QdiscKind qdisc,
                                                TimeNs duration = Sec(30)) {

@@ -14,6 +14,10 @@
 
 #include <vector>
 
+#if defined(__GLIBC__)
+#include <malloc.h>
+#endif
+
 #include "tbf/core/tbr.h"
 #include "tbf/mac/medium.h"
 #include "tbf/model/fairness_model.h"
@@ -35,6 +39,19 @@
 namespace {
 
 using namespace tbf;
+
+// Scenario benches construct and tear down a full Wlan per iteration; each teardown
+// frees a multi-MB contiguous working set, which glibc's default trim policy hands back
+// to the kernel only for the next iteration to page-fault in again (up to 2x wall on
+// the many-station cells, pure allocator noise). Keep the peak working set resident -
+// same policy as bench_common.h; MALLOC_TRIM_THRESHOLD_=-1 is the env equivalent for
+// baseline binaries that predate this line.
+const bool g_malloc_trim_disabled = [] {
+#if defined(__GLIBC__)
+  mallopt(M_TRIM_THRESHOLD, -1);
+#endif
+  return true;
+}();
 
 // Self-rescheduling chain with DCF-flavoured deltas (slots, IFS, frame airtimes at the
 // 802.11b rates). Every fired event schedules its successor, so a run keeps a constant
@@ -99,8 +116,8 @@ void BM_EventQueueColdStart(benchmark::State& state) {
 }
 BENCHMARK(BM_EventQueueColdStart);
 
-net::PacketPtr MakePacket(NodeId client) {
-  auto p = std::make_shared<net::Packet>();
+net::PacketPtr MakePacket(net::PacketPool& pool, NodeId client) {
+  net::PacketPtr p = pool.Allocate();
   p->wlan_client = client;
   p->dst = client;
   p->size_bytes = 1500;
@@ -110,19 +127,58 @@ net::PacketPtr MakePacket(NodeId client) {
 void BM_TbrEnqueueDequeue(benchmark::State& state) {
   const int clients = static_cast<int>(state.range(0));
   sim::Simulator sim;
+  net::PacketPool pool;
   core::TimeBasedRegulator tbr(&sim, phy::MixedModeTimings(), {});
   for (NodeId id = 1; id <= clients; ++id) {
     tbr.OnAssociate(id);
   }
   NodeId next = 1;
   for (auto _ : state) {
-    tbr.Enqueue(MakePacket(next));
+    tbr.Enqueue(MakePacket(pool, next));
     next = next % clients + 1;
     benchmark::DoNotOptimize(tbr.Dequeue());
   }
   state.SetItemsProcessed(state.iterations());
 }
 BENCHMARK(BM_TbrEnqueueDequeue)->Arg(2)->Arg(8)->Arg(32);
+
+// Steady-state pooled allocate/release churn with a live working set, the per-packet
+// allocator cost every transport emission pays (vs the make_shared/atomic-refcount
+// path this replaced). A 64-handle ring keeps slots cycling FIFO-ish through the
+// freelist instead of ping-ponging one slot.
+void BM_PacketPoolChurn(benchmark::State& state) {
+  net::PacketPool pool;
+  constexpr size_t kRing = 64;
+  net::PacketPtr ring[kRing];
+  size_t i = 0;
+  for (auto _ : state) {
+    ring[i & (kRing - 1)] = MakePacket(pool, static_cast<NodeId>(i & 255));
+    benchmark::DoNotOptimize(ring[i & (kRing - 1)].get());
+    ++i;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_PacketPoolChurn);
+
+// The stock per-client AP qdisc at cell scale: dense slot lookup + intrusive FIFO
+// push/pop, with the round-robin dequeue walk over N mostly-empty queues - the
+// MACTXEVENT cost of the 256-station scenario without the MAC underneath.
+void BM_QdiscEnqueueDequeue(benchmark::State& state) {
+  const int clients = static_cast<int>(state.range(0));
+  net::PacketPool pool;
+  ap::RoundRobinQdisc qdisc(/*per_queue_limit=*/50);
+  for (NodeId id = 1; id <= clients; ++id) {
+    qdisc.OnAssociate(id);
+  }
+  NodeId next = 1;
+  for (auto _ : state) {
+    qdisc.Enqueue(MakePacket(pool, next));
+    next = next % clients + 1;
+    benchmark::DoNotOptimize(qdisc.Dequeue());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_QdiscEnqueueDequeue)->Arg(8)->Arg(256);
 
 void BM_TbrOccupancyEstimate(benchmark::State& state) {
   sim::Simulator sim;

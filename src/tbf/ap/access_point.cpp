@@ -20,6 +20,9 @@ void AccessPoint::Associate(NodeId client) { qdisc_->OnAssociate(client); }
 
 void AccessPoint::EnqueueDownlink(net::PacketPtr packet) {
   TBF_CHECK(packet->wlan_client != kInvalidNodeId) << "downlink packet without client";
+  // A MAC duplicate delivery (client relay whose ACK was lost) can hand us a packet
+  // that is still sitting in the qdisc from its first delivery; queue a clone then.
+  packet = net::CloneIfQueued(std::move(packet));
   packet->ap_enqueued = sim_->Now();
   if (qdisc_->Enqueue(std::move(packet))) {
     entity_.NotifyBacklog();

@@ -2,14 +2,33 @@
 
 #include <algorithm>
 
+#include "tbf/util/logging.h"
+
 namespace tbf::ap {
+
+int32_t ClientSlotMap::GetOrAdd(NodeId client, bool* created) {
+  TBF_CHECK(client >= 0) << "per-client qdiscs need a valid wlan_client";
+  if (static_cast<size_t>(client) >= slot_of_.size()) {
+    slot_of_.resize(static_cast<size_t>(client) + 1, -1);
+  }
+  int32_t& slot = slot_of_[static_cast<size_t>(client)];
+  if (slot < 0) {
+    slot = static_cast<int32_t>(count_++);
+    if (created != nullptr) {
+      *created = true;
+    }
+  } else if (created != nullptr) {
+    *created = false;
+  }
+  return slot;
+}
 
 bool FifoQdisc::Enqueue(net::PacketPtr packet) {
   if (queue_.size() >= limit_) {
     CountDrop();
     return false;
   }
-  queue_.push_back(std::move(packet));
+  queue_.PushBack(std::move(packet));
   return true;
 }
 
@@ -17,40 +36,41 @@ net::PacketPtr FifoQdisc::Dequeue() {
   if (queue_.empty()) {
     return nullptr;
   }
-  net::PacketPtr p = std::move(queue_.front());
-  queue_.pop_front();
-  return p;
+  return queue_.PopFront();
 }
 
-void RoundRobinQdisc::OnAssociate(NodeId client) {
-  if (queues_.emplace(client, std::deque<net::PacketPtr>{}).second) {
-    order_.push_back(client);
+int32_t RoundRobinQdisc::SlotFor(NodeId client) {
+  bool created = false;
+  const int32_t slot = slots_.GetOrAdd(client, &created);
+  if (created) {
+    queues_.emplace_back();
   }
+  return slot;
 }
+
+void RoundRobinQdisc::OnAssociate(NodeId client) { SlotFor(client); }
 
 bool RoundRobinQdisc::Enqueue(net::PacketPtr packet) {
-  OnAssociate(packet->wlan_client);
-  auto& q = queues_[packet->wlan_client];
+  net::PacketFifo& q = queues_[static_cast<size_t>(SlotFor(packet->wlan_client))];
   if (q.size() >= limit_) {
     CountDrop();
     return false;
   }
-  q.push_back(std::move(packet));
+  q.PushBack(std::move(packet));
   return true;
 }
 
 net::PacketPtr RoundRobinQdisc::Dequeue() {
-  if (order_.empty()) {
+  const size_t n = queues_.size();
+  if (n == 0) {
     return nullptr;
   }
-  for (size_t i = 0; i < order_.size(); ++i) {
-    const size_t idx = (next_ + i) % order_.size();
-    auto& q = queues_[order_[idx]];
+  for (size_t i = 0; i < n; ++i) {
+    const size_t idx = (next_ + i) % n;
+    net::PacketFifo& q = queues_[idx];
     if (!q.empty()) {
-      net::PacketPtr p = std::move(q.front());
-      q.pop_front();
-      next_ = (idx + 1) % order_.size();
-      return p;
+      next_ = (idx + 1) % n;
+      return q.PopFront();
     }
   }
   return nullptr;
@@ -58,47 +78,51 @@ net::PacketPtr RoundRobinQdisc::Dequeue() {
 
 bool RoundRobinQdisc::HasEligible() const {
   return std::any_of(queues_.begin(), queues_.end(),
-                     [](const auto& kv) { return !kv.second.empty(); });
+                     [](const net::PacketFifo& q) { return !q.empty(); });
 }
 
 size_t RoundRobinQdisc::QueuedPackets() const {
   size_t n = 0;
-  for (const auto& [id, q] : queues_) {
+  for (const net::PacketFifo& q : queues_) {
     n += q.size();
   }
   return n;
 }
 
-void DrrQdisc::OnAssociate(NodeId client) {
-  if (queues_.emplace(client, ClientQueue{}).second) {
-    order_.push_back(client);
+int32_t DrrQdisc::SlotFor(NodeId client) {
+  bool created = false;
+  const int32_t slot = slots_.GetOrAdd(client, &created);
+  if (created) {
+    queues_.emplace_back();
   }
+  return slot;
 }
 
+void DrrQdisc::OnAssociate(NodeId client) { SlotFor(client); }
+
 bool DrrQdisc::Enqueue(net::PacketPtr packet) {
-  OnAssociate(packet->wlan_client);
-  auto& q = queues_[packet->wlan_client];
+  ClientQueue& q = queues_[static_cast<size_t>(SlotFor(packet->wlan_client))];
   if (q.packets.size() >= limit_) {
     CountDrop();
     return false;
   }
-  q.packets.push_back(std::move(packet));
+  q.packets.PushBack(std::move(packet));
   return true;
 }
 
 void DrrQdisc::Advance() {
-  queues_[order_[next_]].granted = false;
-  next_ = (next_ + 1) % order_.size();
+  queues_[next_].granted = false;
+  next_ = (next_ + 1) % queues_.size();
 }
 
 net::PacketPtr DrrQdisc::Dequeue() {
-  if (order_.empty()) {
+  if (queues_.empty()) {
     return nullptr;
   }
   // Bounded walk: each queue is visited at most twice (grant, then possibly re-grant
   // after all others proved empty).
-  for (size_t hops = 0; hops <= 2 * order_.size(); ++hops) {
-    ClientQueue& q = queues_[order_[next_]];
+  for (size_t hops = 0; hops <= 2 * queues_.size(); ++hops) {
+    ClientQueue& q = queues_[next_];
     if (q.packets.empty()) {
       q.deficit = 0;
       Advance();
@@ -109,8 +133,7 @@ net::PacketPtr DrrQdisc::Dequeue() {
       q.granted = true;
     }
     if (q.deficit >= q.packets.front()->size_bytes) {
-      net::PacketPtr p = std::move(q.packets.front());
-      q.packets.pop_front();
+      net::PacketPtr p = q.packets.PopFront();
       q.deficit -= p->size_bytes;
       if (q.packets.empty()) {
         q.deficit = 0;
@@ -125,31 +148,36 @@ net::PacketPtr DrrQdisc::Dequeue() {
 
 bool DrrQdisc::HasEligible() const {
   return std::any_of(queues_.begin(), queues_.end(),
-                     [](const auto& kv) { return !kv.second.packets.empty(); });
+                     [](const ClientQueue& q) { return !q.packets.empty(); });
 }
 
 size_t DrrQdisc::QueuedPackets() const {
   size_t n = 0;
-  for (const auto& [id, q] : queues_) {
+  for (const ClientQueue& q : queues_) {
     n += q.packets.size();
   }
   return n;
 }
 
-void BurstRoundRobinQdisc::OnAssociate(NodeId client) {
-  if (queues_.emplace(client, std::deque<net::PacketPtr>{}).second) {
-    order_.push_back(client);
+int32_t BurstRoundRobinQdisc::SlotFor(NodeId client) {
+  bool created = false;
+  const int32_t slot = slots_.GetOrAdd(client, &created);
+  if (created) {
+    queues_.emplace_back();
+    queues_.back().id = client;
   }
+  return slot;
 }
 
+void BurstRoundRobinQdisc::OnAssociate(NodeId client) { SlotFor(client); }
+
 bool BurstRoundRobinQdisc::Enqueue(net::PacketPtr packet) {
-  OnAssociate(packet->wlan_client);
-  auto& q = queues_[packet->wlan_client];
-  if (q.size() >= limit_) {
+  ClientQueue& q = queues_[static_cast<size_t>(SlotFor(packet->wlan_client))];
+  if (q.packets.size() >= limit_) {
     CountDrop();
     return false;
   }
-  q.push_back(std::move(packet));
+  q.packets.PushBack(std::move(packet));
   return true;
 }
 
@@ -160,36 +188,35 @@ int BurstRoundRobinQdisc::BurstSizeFor(NodeId client) const {
 }
 
 net::PacketPtr BurstRoundRobinQdisc::Dequeue() {
-  if (order_.empty()) {
+  if (queues_.empty()) {
     return nullptr;
   }
-  for (size_t hops = 0; hops <= order_.size(); ++hops) {
-    auto& q = queues_[order_[next_]];
-    if (q.empty() || burst_left_ == 0) {
+  for (size_t hops = 0; hops <= queues_.size(); ++hops) {
+    ClientQueue& q = queues_[next_];
+    if (q.packets.empty() || burst_left_ == 0) {
       burst_left_ = 0;
-      next_ = (next_ + 1) % order_.size();
-      if (!queues_[order_[next_]].empty()) {
-        burst_left_ = BurstSizeFor(order_[next_]);
+      next_ = (next_ + 1) % queues_.size();
+      ClientQueue& upcoming = queues_[next_];
+      if (!upcoming.packets.empty()) {
+        burst_left_ = BurstSizeFor(upcoming.id);
       }
       continue;
     }
-    net::PacketPtr p = std::move(q.front());
-    q.pop_front();
     --burst_left_;
-    return p;
+    return q.packets.PopFront();
   }
   return nullptr;
 }
 
 bool BurstRoundRobinQdisc::HasEligible() const {
   return std::any_of(queues_.begin(), queues_.end(),
-                     [](const auto& kv) { return !kv.second.empty(); });
+                     [](const ClientQueue& q) { return !q.packets.empty(); });
 }
 
 size_t BurstRoundRobinQdisc::QueuedPackets() const {
   size_t n = 0;
-  for (const auto& [id, q] : queues_) {
-    n += q.size();
+  for (const ClientQueue& q : queues_) {
+    n += q.packets.size();
   }
   return n;
 }

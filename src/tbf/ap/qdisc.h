@@ -6,13 +6,17 @@
 // implemented as one of these (src/tbf/core/tbr.h); the baselines here are the stock
 // kernel-interface FIFO the paper calls "Exp-Normal", a per-node round-robin, and a
 // deficit-round-robin byte-fair scheduler.
+//
+// Per-client state is dense: stations are small dense NodeIds, so each qdisc keeps its
+// client queues in a flat vector in association order (the round-robin order) plus a
+// NodeId -> slot index vector - enqueue and dequeue are O(1) indexed loads with no tree
+// walk, and the queues themselves are intrusive PacketFifo lists of pooled packets (no
+// deque churn, no refcount traffic on push/pop).
 #ifndef TBF_AP_QDISC_H_
 #define TBF_AP_QDISC_H_
 
-#include <deque>
+#include <cstdint>
 #include <functional>
-#include <map>
-#include <memory>
 #include <vector>
 
 #include "tbf/mac/medium.h"
@@ -73,6 +77,29 @@ class Qdisc {
   int64_t drops_ = 0;
 };
 
+// NodeId -> dense slot map shared by the per-client qdiscs: slots are handed out in
+// association order (which is also each qdisc's round-robin order), lookups are a
+// bounds check plus an indexed load.
+class ClientSlotMap {
+ public:
+  // Returns the client's slot, or -1 when it has none yet.
+  int32_t SlotOf(NodeId client) const {
+    return client >= 0 && static_cast<size_t>(client) < slot_of_.size()
+               ? slot_of_[static_cast<size_t>(client)]
+               : -1;
+  }
+
+  // Returns the client's slot, assigning the next dense slot on first sight.
+  // `created` reports whether this call associated the client.
+  int32_t GetOrAdd(NodeId client, bool* created = nullptr);
+
+  size_t size() const { return count_; }
+
+ private:
+  std::vector<int32_t> slot_of_;
+  size_t count_ = 0;
+};
+
 // Single drop-tail FIFO - the kernel interface queue of a stock AP (default depth 110,
 // matching the paper's Exp-Normal configuration).
 class FifoQdisc : public Qdisc {
@@ -86,7 +113,7 @@ class FifoQdisc : public Qdisc {
 
  private:
   size_t limit_;
-  std::deque<net::PacketPtr> queue_;
+  net::PacketFifo queue_;
 };
 
 // Per-client drop-tail FIFOs served in round-robin packet order - the "AP queuing scheme
@@ -103,9 +130,12 @@ class RoundRobinQdisc : public Qdisc {
   size_t QueuedPackets() const override;
 
  private:
+  // Slot for `client`, growing the queue table on first sight (association order).
+  int32_t SlotFor(NodeId client);
+
   size_t limit_;
-  std::map<NodeId, std::deque<net::PacketPtr>> queues_;
-  std::vector<NodeId> order_;
+  ClientSlotMap slots_;
+  std::vector<net::PacketFifo> queues_;  // Association order.
   size_t next_ = 0;
 };
 
@@ -124,19 +154,20 @@ class DrrQdisc : public Qdisc {
 
  private:
   struct ClientQueue {
-    std::deque<net::PacketPtr> packets;
+    net::PacketFifo packets;
     int64_t deficit = 0;
     // Whether this visit's quantum has been granted (reset when the round pointer
     // leaves the queue) - one quantum per visit, not per Dequeue() call.
     bool granted = false;
   };
 
+  int32_t SlotFor(NodeId client);
   void Advance();
 
   size_t limit_;
   int64_t quantum_;
-  std::map<NodeId, ClientQueue> queues_;
-  std::vector<NodeId> order_;
+  ClientSlotMap slots_;
+  std::vector<ClientQueue> queues_;  // Association order.
   size_t next_ = 0;
 };
 
@@ -164,13 +195,19 @@ class BurstRoundRobinQdisc : public Qdisc {
   size_t QueuedPackets() const override;
 
  private:
+  struct ClientQueue {
+    net::PacketFifo packets;
+    NodeId id = kInvalidNodeId;  // For the rate lookup when a burst is granted.
+  };
+
+  int32_t SlotFor(NodeId client);
   int BurstSizeFor(NodeId client) const;
 
   RateLookup rate_lookup_;
   int64_t base_rate_;
   size_t limit_;
-  std::map<NodeId, std::deque<net::PacketPtr>> queues_;
-  std::vector<NodeId> order_;
+  ClientSlotMap slots_;
+  std::vector<ClientQueue> queues_;  // Association order.
   size_t next_ = 0;
   int burst_left_ = 0;  // Packets remaining in the current client's burst grant.
 };

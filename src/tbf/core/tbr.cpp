@@ -13,15 +13,21 @@ TimeBasedRegulator::TimeBasedRegulator(sim::Simulator* sim, phy::MacTimings timi
 void TimeBasedRegulator::OnAssociate(NodeId client) { GetOrAssociate(client); }
 
 TimeBasedRegulator::ClientState& TimeBasedRegulator::GetOrAssociate(NodeId client) {
-  auto it = clients_.find(client);
-  if (it != clients_.end()) {
-    return it->second;
+  TBF_CHECK(client >= 0) << "TBR regulates per-client traffic; packets need a client";
+  if (static_cast<size_t>(client) >= slot_of_.size()) {
+    slot_of_.resize(static_cast<size_t>(client) + 1, -1);
   }
-  ClientState st;
+  int32_t slot = slot_of_[static_cast<size_t>(client)];
+  if (slot >= 0) {
+    return clients_[static_cast<size_t>(slot)];
+  }
+  slot = static_cast<int32_t>(clients_.size());
+  slot_of_[static_cast<size_t>(client)] = slot;
+  clients_.emplace_back();
+  ClientState& st = clients_.back();
   st.tokens = config_.initial_tokens;
-  it = clients_.emplace(client, std::move(st)).first;
-  order_.push_back(&it->second);
-  total_weight_ += it->second.weight;
+  st.id = client;
+  total_weight_ += st.weight;
   RecomputeFairRates();
 
   if (!timers_started_) {
@@ -32,15 +38,15 @@ TimeBasedRegulator::ClientState& TimeBasedRegulator::GetOrAssociate(NodeId clien
       sim_->Schedule(config_.adjust_period, [this] { AdjustRateEvent(); });
     }
   }
-  return it->second;
+  return clients_[static_cast<size_t>(slot)];
 }
 
 void TimeBasedRegulator::RecomputeFairRates() {
   if (total_weight_ <= 0.0) {
     return;
   }
-  for (ClientState* st : order_) {
-    st->rate = st->weight / total_weight_;
+  for (ClientState& st : clients_) {
+    st.rate = st.weight / total_weight_;
   }
 }
 
@@ -57,24 +63,22 @@ bool TimeBasedRegulator::Enqueue(net::PacketPtr packet) {
     CountDrop();
     return false;
   }
-  st.queue.push_back(std::move(packet));
+  st.queue.PushBack(std::move(packet));
   return true;
 }
 
 net::PacketPtr TimeBasedRegulator::Dequeue() {
-  const size_t n = order_.size();
+  const size_t n = clients_.size();
   if (n == 0) {
     return nullptr;
   }
   // Round-robin over queues with positive channel-time credit (Fig. 6, MACTXEVENT).
   for (size_t i = 0; i < n; ++i) {
     const size_t idx = next_ + i < n ? next_ + i : next_ + i - n;
-    ClientState& st = *order_[idx];
+    ClientState& st = clients_[idx];
     if (Eligible(st)) {
-      net::PacketPtr p = std::move(st.queue.front());
-      st.queue.pop_front();
       next_ = idx + 1 < n ? idx + 1 : 0;
-      return p;
+      return st.queue.PopFront();
     }
   }
   if (!config_.work_conserving_fallback) {
@@ -83,28 +87,26 @@ net::PacketPtr TimeBasedRegulator::Dequeue() {
   // No positive-credit queue: rather than idle the channel, serve the backlogged client
   // closest to eligibility (largest token balance).
   ClientState* best = nullptr;
-  for (ClientState* st : order_) {
-    if (!st->queue.empty() && (best == nullptr || st->tokens > best->tokens)) {
-      best = st;
+  for (ClientState& st : clients_) {
+    if (!st.queue.empty() && (best == nullptr || st.tokens > best->tokens)) {
+      best = &st;
     }
   }
   if (best == nullptr) {
     return nullptr;
   }
-  net::PacketPtr p = std::move(best->queue.front());
-  best->queue.pop_front();
-  return p;
+  return best->queue.PopFront();
 }
 
 bool TimeBasedRegulator::HasEligible() const {
-  for (const ClientState* st : order_) {
-    if (Eligible(*st)) {
+  for (const ClientState& st : clients_) {
+    if (Eligible(st)) {
       return true;
     }
   }
   if (config_.work_conserving_fallback) {
-    for (const ClientState* st : order_) {
-      if (!st->queue.empty()) {
+    for (const ClientState& st : clients_) {
+      if (!st.queue.empty()) {
         return true;
       }
     }
@@ -114,8 +116,8 @@ bool TimeBasedRegulator::HasEligible() const {
 
 size_t TimeBasedRegulator::QueuedPackets() const {
   size_t n = 0;
-  for (const ClientState* st : order_) {
-    n += st->queue.size();
+  for (const ClientState& st : clients_) {
+    n += st.queue.size();
   }
   return n;
 }
@@ -128,21 +130,22 @@ TimeNs TimeBasedRegulator::EstimateOccupancy(int mac_frame_bytes, phy::WifiRate 
     // contention the expected idle is roughly the solo expectation divided by the number
     // of contenders (minimum of independent uniform draws), so scale by the cell size;
     // what matters for fairness is that the estimate is applied uniformly to all nodes.
-    const auto contenders = static_cast<TimeNs>(std::max<size_t>(order_.size(), 1));
+    const auto contenders = static_cast<TimeNs>(std::max<size_t>(clients_.size(), 1));
     per_attempt += timings_.Difs() + (timings_.cw_min / 2) * timings_.slot / contenders;
   }
   return per_attempt * std::max(attempts, 1);
 }
 
 void TimeBasedRegulator::Charge(NodeId client, TimeNs occupancy) {
-  auto it = clients_.find(client);
-  if (it == clients_.end()) {
+  const int32_t slot = SlotOf(client);
+  if (slot < 0) {
     return;
   }
-  it->second.tokens -= occupancy;
-  it->second.actual += occupancy;
+  ClientState& st = clients_[static_cast<size_t>(slot)];
+  st.tokens -= occupancy;
+  st.actual += occupancy;
   if (config_.client_agent) {
-    MaybePauseClient(client);
+    MaybePauseClient(st);
   }
 }
 
@@ -173,8 +176,7 @@ void TimeBasedRegulator::FillEvent() {
   const TimeNs dt = now - last_fill_;
   last_fill_ = now;
   bool became_eligible = false;
-  for (ClientState* stp : order_) {
-    ClientState& st = *stp;
+  for (ClientState& st : clients_) {
     const bool was = Eligible(st);
     st.tokens += static_cast<TimeNs>(st.rate * static_cast<double>(dt));
     if (st.tokens > config_.bucket_depth) {
@@ -190,15 +192,18 @@ void TimeBasedRegulator::FillEvent() {
 
 void TimeBasedRegulator::AdjustRateEvent() {
   const double window = static_cast<double>(config_.adjust_period);
-  // Excess = assigned share minus consumed share over the window (Fig. 7).
-  std::vector<ClientState*> under;  // excess >= Rth.
-  std::vector<ClientState*> full;   // consumed close to assignment: I'.
+  // Excess = assigned share minus consumed share over the window (Fig. 7). The
+  // classification scratch is reused across ADJUSTRATEEVENTs (steady state allocates
+  // nothing, pinned by the packet-pool allocation test).
+  std::vector<ClientState*>& under = adjust_under_;  // excess >= Rth.
+  std::vector<ClientState*>& full = adjust_full_;    // consumed close to assignment: I'.
+  under.clear();
+  full.clear();
   ClientState* max_excess_node = nullptr;
   double max_excess = 0.0;
   double min_excess = 0.0;
   double total_usage = 0.0;
-  for (ClientState* stp : order_) {
-    ClientState& st = *stp;
+  for (ClientState& st : clients_) {
     const double usage = static_cast<double>(st.actual) / window;
     if (st.smoothed_usage < 0.0) {
       st.smoothed_usage = st.rate;  // Assume full use until evidence accumulates.
@@ -249,8 +254,7 @@ void TimeBasedRegulator::AdjustRateEvent() {
       }
       double want = std::min(config_.repair_step, fair - st->rate);
       double surplus_total = 0.0;
-      for (ClientState* op : order_) {
-        ClientState& other = *op;
+      for (ClientState& other : clients_) {
         const double other_fair = other.weight / total_weight_;
         if (&other != st && other.rate > other_fair) {
           surplus_total += other.rate - other_fair;
@@ -260,8 +264,7 @@ void TimeBasedRegulator::AdjustRateEvent() {
         continue;
       }
       want = std::min(want, surplus_total);
-      for (ClientState* op : order_) {
-        ClientState& other = *op;
+      for (ClientState& other : clients_) {
         const double other_fair = other.weight / total_weight_;
         if (&other != st && other.rate > other_fair) {
           other.rate -= want * (other.rate - other_fair) / surplus_total;
@@ -271,39 +274,38 @@ void TimeBasedRegulator::AdjustRateEvent() {
     }
   }
 
-  for (ClientState* st : order_) {
-    st->actual = 0;
+  for (ClientState& st : clients_) {
+    st.actual = 0;
   }
   sim_->Schedule(config_.adjust_period, [this] { AdjustRateEvent(); });
 }
 
-void TimeBasedRegulator::MaybePauseClient(NodeId client) {
+void TimeBasedRegulator::MaybePauseClient(const ClientState& st) {
   if (!client_pause_) {
     return;
   }
-  const ClientState& st = clients_[client];
   if (st.tokens >= 0 || st.rate <= 0.0) {
     return;
   }
   // Pause the client until its bucket is projected to refill to zero.
   const TimeNs debt = -st.tokens;
   const TimeNs pause = static_cast<TimeNs>(static_cast<double>(debt) / st.rate);
-  client_pause_(client, sim_->Now() + pause);
+  client_pause_(st.id, sim_->Now() + pause);
 }
 
 TimeNs TimeBasedRegulator::tokens(NodeId client) const {
-  auto it = clients_.find(client);
-  return it == clients_.end() ? 0 : it->second.tokens;
+  const int32_t slot = SlotOf(client);
+  return slot < 0 ? 0 : clients_[static_cast<size_t>(slot)].tokens;
 }
 
 double TimeBasedRegulator::rate(NodeId client) const {
-  auto it = clients_.find(client);
-  return it == clients_.end() ? 0.0 : it->second.rate;
+  const int32_t slot = SlotOf(client);
+  return slot < 0 ? 0.0 : clients_[static_cast<size_t>(slot)].rate;
 }
 
 TimeNs TimeBasedRegulator::actual_usage(NodeId client) const {
-  auto it = clients_.find(client);
-  return it == clients_.end() ? 0 : it->second.actual;
+  const int32_t slot = SlotOf(client);
+  return slot < 0 ? 0 : clients_[static_cast<size_t>(slot)].actual;
 }
 
 }  // namespace tbf::core

@@ -25,9 +25,7 @@
 #ifndef TBF_CORE_TBR_H_
 #define TBF_CORE_TBR_H_
 
-#include <deque>
 #include <functional>
-#include <map>
 #include <vector>
 
 #include "tbf/ap/qdisc.h"
@@ -114,12 +112,13 @@ class TimeBasedRegulator : public ap::Qdisc {
 
  private:
   struct ClientState {
-    std::deque<net::PacketPtr> queue;
+    net::PacketFifo queue;  // Intrusive FIFO of pooled packets.
     TimeNs tokens = 0;
     double rate = 0.0;   // Fraction of channel time per unit time.
     double weight = 1.0;
     TimeNs actual = 0;            // Occupancy charged since the last ADJUSTRATEEVENT.
     double smoothed_usage = -1.0; // EWMA of actual/window; <0 = uninitialized.
+    NodeId id = kInvalidNodeId;
   };
 
   void FillEvent();
@@ -127,19 +126,30 @@ class TimeBasedRegulator : public ap::Qdisc {
   void RecomputeFairRates();
   ClientState& GetOrAssociate(NodeId client);
   void Charge(NodeId client, TimeNs occupancy);
-  void MaybePauseClient(NodeId client);
+  void MaybePauseClient(const ClientState& st);
   bool Eligible(const ClientState& st) const { return !st.queue.empty() && st.tokens > 0; }
+  // Dense slot lookup (clients never disassociate); -1 when the client is unknown.
+  int32_t SlotOf(NodeId client) const {
+    return client >= 0 && static_cast<size_t>(client) < slot_of_.size()
+               ? slot_of_[static_cast<size_t>(client)]
+               : -1;
+  }
 
   sim::Simulator* sim_;
   phy::MacTimings timings_;
   TbrConfig config_;
   ClientPauseFn client_pause_;
 
-  std::map<NodeId, ClientState> clients_;
-  // Round-robin order as direct state pointers, so the per-step walk in Dequeue()
-  // (MACTXEVENT, once per frame) never hashes back into clients_. Pointers are stable
-  // because clients_ is a node-based map and clients never disassociate.
-  std::vector<ClientState*> order_;
+  // Client state packed in association order (which is the round-robin order), indexed
+  // through slot_of_: the per-frame Dequeue()/HasEligible() walks are linear scans over
+  // contiguous state, and per-completion Charge() is one indexed load - no tree walk
+  // anywhere on the per-packet path.
+  std::vector<ClientState> clients_;
+  std::vector<int32_t> slot_of_;  // NodeId -> clients_ slot; -1 = not associated.
+  // ADJUSTRATEEVENT classification scratch, reused so the 500 ms timer allocates
+  // nothing once warm.
+  std::vector<ClientState*> adjust_under_;
+  std::vector<ClientState*> adjust_full_;
   size_t next_ = 0;
   double total_weight_ = 0.0;  // Cached sum of weights (invariant: > 0 once non-empty).
   TimeNs last_fill_ = 0;

@@ -11,7 +11,13 @@ Medium::Medium(sim::Simulator* sim, phy::MacTimings timings, const phy::LossMode
     : sim_(sim), timings_(timings), loss_(loss), rng_(rng), default_ifs_(timings.Difs()) {}
 
 void Medium::Attach(DcfEntity* entity) {
-  TBF_CHECK(entities_.emplace(entity->id(), entity).second) << "duplicate node id";
+  const NodeId id = entity->id();
+  TBF_CHECK(id >= 0) << "station ids must be non-negative";
+  if (static_cast<size_t>(id) >= entities_.size()) {
+    entities_.resize(static_cast<size_t>(id) + 1, nullptr);
+  }
+  TBF_CHECK(entities_[static_cast<size_t>(id)] == nullptr) << "duplicate node id";
+  entities_[static_cast<size_t>(id)] = entity;
 }
 
 void Medium::SyncIfs(DcfEntity* entity) {
@@ -194,9 +200,11 @@ void Medium::BeginExchange(TimeNs idle_consumed) {
 
     bool data_lost = collision;
     bool ack_lost = false;
-    auto rx_it = entities_.find(frame.dst);
+    DcfEntity* rx = frame.dst >= 0 && static_cast<size_t>(frame.dst) < entities_.size()
+                        ? entities_[static_cast<size_t>(frame.dst)]
+                        : nullptr;
     if (!data_lost) {
-      if (rx_it == entities_.end()) {
+      if (rx == nullptr) {
         data_lost = true;
       } else {
         data_lost = rng_->Bernoulli(
@@ -210,9 +218,26 @@ void Medium::BeginExchange(TimeNs idle_consumed) {
       this_busy_end = data_end + timings_.sifs + phy::AckAirtime(frame.rate);
       ack_lost = rng_->Bernoulli(loss_->FrameLossProb(
           frame.dst, frame.src, phy::kMacAckFrameBytes, phy::AckRateFor(frame.rate)));
-      DcfEntity* receiver = rx_it->second;
-      const MacFrame delivered = frame;
-      sim_->ScheduleAt(data_end, [receiver, delivered] {
+      DcfEntity* receiver = rx;
+      // Trivially-copyable capture: the packet reference rides as a raw detached
+      // handle and the MacFrame is rebuilt at delivery time, so the event slab never
+      // runs refcount traffic or a relocate thunk for frame deliveries.
+      struct InFlightFrame {
+        NodeId src;
+        NodeId dst;
+        int frame_bytes;
+        phy::WifiRate rate;
+        net::Packet* packet;
+      };
+      const InFlightFrame in_flight{frame.src, frame.dst, frame.frame_bytes, frame.rate,
+                                    frame.packet.DetachCopy()};
+      sim_->ScheduleAt(data_end, [receiver, in_flight] {
+        MacFrame delivered;
+        delivered.src = in_flight.src;
+        delivered.dst = in_flight.dst;
+        delivered.frame_bytes = in_flight.frame_bytes;
+        delivered.rate = in_flight.rate;
+        delivered.packet = net::PacketPtr::Adopt(in_flight.packet);
         if (receiver->sink_ != nullptr) {
           receiver->sink_->OnFrameReceived(delivered);
         }

@@ -126,7 +126,9 @@ class Medium {
   const phy::LossModel* loss_;
   sim::Rng* rng_;
 
-  std::map<NodeId, DcfEntity*> entities_;
+  // Dense NodeId-indexed attach table (one receiver lookup per exchange on the hot
+  // path); nullptr = no station with that id.
+  std::vector<DcfEntity*> entities_;
   std::vector<DcfEntity*> contenders_;
   std::vector<MediumObserver*> observers_;
 

@@ -17,7 +17,7 @@ void WirelessHost::SendPacket(PacketPtr packet) {
     ++drops_;
     return;
   }
-  queue_.push_back(std::move(packet));
+  queue_.PushBack(std::move(packet));
   if (sim_->Now() >= uplink_paused_until_) {
     entity_.NotifyBacklog();
   }
@@ -27,8 +27,7 @@ std::optional<mac::MacFrame> WirelessHost::NextFrame() {
   if (queue_.empty() || sim_->Now() < uplink_paused_until_) {
     return std::nullopt;
   }
-  PacketPtr p = std::move(queue_.front());
-  queue_.pop_front();
+  PacketPtr p = queue_.PopFront();
   // Infrastructure mode: all uplink frames are MAC-addressed to the AP, which relays.
   return mac::MakeDataFrame(id_, kApId, std::move(p), rates_->CurrentRate(kApId));
 }

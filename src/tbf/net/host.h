@@ -6,7 +6,6 @@
 #ifndef TBF_NET_HOST_H_
 #define TBF_NET_HOST_H_
 
-#include <deque>
 #include <memory>
 
 #include "tbf/mac/medium.h"
@@ -54,7 +53,7 @@ class WirelessHost : public mac::FrameProvider, public mac::FrameSink {
   std::unique_ptr<rateadapt::RateController> rates_;
   Demux* demux_;
   size_t queue_limit_;
-  std::deque<PacketPtr> queue_;
+  PacketFifo queue_;  // Intrusive drop-tail interface queue of pooled packets.
   int64_t drops_ = 0;
   TimeNs uplink_paused_until_ = 0;
   mac::DcfEntity entity_;

@@ -1,9 +1,27 @@
-// Network-layer packet representation shared by transport, AP queueing and the MAC.
+// Network-layer packet representation shared by transport, AP queueing and the MAC,
+// plus the pooled allocation machinery that makes the per-packet path allocation-free.
+//
+// Every simulated packet lives in a PacketPool slab slot and is owned through PacketPtr,
+// an intrusive non-atomic refcounted handle (one pointer wide; copies bump a plain
+// uint32 in the packet itself - no control block, no atomics). Pools are chunked like
+// the event kernel's callback slab: chunk addresses are stable, freed packets go on an
+// intrusive freelist, and in steady state Allocate/Release cycles never touch the heap.
+// Each Simulator's scenario owns its own pool (scenario::Wlan holds one next to its
+// Simulator), so sweep workers never share a pool and runs stay bit-identical and
+// race-free for any TBF_SWEEP_THREADS.
+//
+// The same intrusive `link` field that threads the freelist threads PacketFifo - the
+// per-node FIFO used by the AP qdiscs, TBR and the client interface queues - which is
+// sound because a packet is either dead (freelist) or queued in at most one FIFO at a
+// time (ownership moves along a single forwarding path).
 #ifndef TBF_NET_PACKET_H_
 #define TBF_NET_PACKET_H_
 
+#include <cstddef>
 #include <cstdint>
 #include <memory>
+#include <utility>
+#include <vector>
 
 #include "tbf/util/units.h"
 
@@ -14,6 +32,8 @@ enum class Proto { kUdp, kTcpData, kTcpAck };
 inline constexpr int kIpTcpHeaderBytes = 40;
 inline constexpr int kIpUdpHeaderBytes = 28;
 inline constexpr int kDefaultMss = 1460;  // 1500-byte IP packets, the paper's frame size.
+
+class PacketPool;
 
 struct Packet {
   NodeId src = kInvalidNodeId;  // Originating endpoint (client id or >= kServerId).
@@ -47,13 +67,285 @@ struct Packet {
     }
     return 0;
   }
+
+  // --- Pool bookkeeping (not wire state; managed by PacketPool/PacketPtr/PacketFifo).
+  PacketPool* pool = nullptr;   // Owning pool; set once when the slot's chunk is built.
+  Packet* link = nullptr;       // Freelist link while dead, FIFO link while queued.
+  uint32_t refs = 0;            // Non-atomic: each pool is confined to one sweep thread.
+  uint32_t generation = 0;      // Bumped on every release-to-pool (reuse introspection).
+  // True while the packet sits in a PacketFifo. The intrusive link admits only one list
+  // membership at a time; enqueue boundaries that can legitimately see an already-queued
+  // packet again (MAC duplicate deliveries: data received but ACK lost, so the sender
+  // retransmits and the receiver-side forwards the same Packet twice) consult this to
+  // clone instead of corrupting the chain - see CloneIfQueued.
+  bool in_fifo = false;
 };
 
-using PacketPtr = std::shared_ptr<Packet>;
+// One-pointer intrusive refcounted handle to a pooled Packet. Copy = ++refs,
+// destruction = --refs, last release returns the slot to its pool's freelist.
+// Detach()/Adopt() transfer a counted reference as a raw Packet* - used by PacketFifo
+// and by event callbacks that must stay trivially copyable (no refcount traffic or
+// relocate thunks through the event slab).
+class PacketPtr {
+ public:
+  PacketPtr() noexcept = default;
+  PacketPtr(std::nullptr_t) noexcept {}  // NOLINT(google-explicit-constructor)
 
-inline PacketPtr MakeUdpPacket(NodeId src, NodeId dst, NodeId wlan_client, int flow_id,
-                               int size_bytes, int64_t seq, TimeNs now) {
-  auto p = std::make_shared<Packet>();
+  PacketPtr(const PacketPtr& other) noexcept : p_(other.p_) {
+    if (p_ != nullptr) {
+      ++p_->refs;
+    }
+  }
+  PacketPtr(PacketPtr&& other) noexcept : p_(other.p_) { other.p_ = nullptr; }
+
+  PacketPtr& operator=(const PacketPtr& other) noexcept {
+    if (this != &other) {
+      Packet* old = p_;
+      p_ = other.p_;
+      if (p_ != nullptr) {
+        ++p_->refs;
+      }
+      ReleaseRaw(old);
+    }
+    return *this;
+  }
+  PacketPtr& operator=(PacketPtr&& other) noexcept {
+    if (this != &other) {
+      Packet* old = p_;
+      p_ = other.p_;
+      other.p_ = nullptr;
+      ReleaseRaw(old);
+    }
+    return *this;
+  }
+  PacketPtr& operator=(std::nullptr_t) noexcept {
+    reset();
+    return *this;
+  }
+
+  ~PacketPtr() { ReleaseRaw(p_); }
+
+  // Wraps an already-counted reference (from Detach/DetachCopy or a fresh allocation).
+  static PacketPtr Adopt(Packet* p) noexcept { return PacketPtr(p); }
+
+  // Releases ownership without dropping the reference; pair with Adopt.
+  Packet* Detach() noexcept { return std::exchange(p_, nullptr); }
+
+  // Hands out an additional counted reference as a raw pointer; pair with Adopt.
+  Packet* DetachCopy() const noexcept {
+    if (p_ != nullptr) {
+      ++p_->refs;
+    }
+    return p_;
+  }
+
+  void reset() noexcept { ReleaseRaw(std::exchange(p_, nullptr)); }
+
+  Packet* get() const noexcept { return p_; }
+  Packet& operator*() const noexcept { return *p_; }
+  Packet* operator->() const noexcept { return p_; }
+  explicit operator bool() const noexcept { return p_ != nullptr; }
+
+  friend bool operator==(const PacketPtr& a, const PacketPtr& b) noexcept {
+    return a.p_ == b.p_;
+  }
+  friend bool operator!=(const PacketPtr& a, const PacketPtr& b) noexcept {
+    return a.p_ != b.p_;
+  }
+  friend bool operator==(const PacketPtr& a, std::nullptr_t) noexcept {
+    return a.p_ == nullptr;
+  }
+  friend bool operator!=(const PacketPtr& a, std::nullptr_t) noexcept {
+    return a.p_ != nullptr;
+  }
+  friend bool operator==(std::nullptr_t, const PacketPtr& a) noexcept {
+    return a.p_ == nullptr;
+  }
+  friend bool operator!=(std::nullptr_t, const PacketPtr& a) noexcept {
+    return a.p_ != nullptr;
+  }
+
+ private:
+  explicit PacketPtr(Packet* p) noexcept : p_(p) {}
+  static void ReleaseRaw(Packet* p) noexcept;  // Defined after PacketPool.
+
+  Packet* p_ = nullptr;
+};
+
+// Chunked slab + freelist of Packets. Allocate() pops the freelist (or grows by one
+// chunk on first touch); the last PacketPtr release pushes the slot back. Steady state:
+// zero heap traffic on the packet path (pinned by tests/packet_pool_test.cpp).
+class PacketPool {
+ public:
+  // 256 slots x ~112 bytes per chunk; stable addresses (chunks are never moved).
+  static constexpr size_t kChunkSize = 256;
+
+  PacketPool() = default;
+  PacketPool(const PacketPool&) = delete;
+  PacketPool& operator=(const PacketPool&) = delete;
+  // The pool must outlive every handle into it; owners keep it next to the Simulator
+  // and declared before (destroyed after) everything that can hold packets.
+  ~PacketPool() = default;
+
+  PacketPtr Allocate() {
+    if (free_head_ == nullptr) {
+      Grow();
+    }
+    Packet* p = free_head_;
+    free_head_ = p->link;
+    // Reset to the same defaults a freshly constructed Packet carries; reuse must be
+    // indistinguishable from fresh allocation (bit-identical runs depend on it).
+    p->src = kInvalidNodeId;
+    p->dst = kInvalidNodeId;
+    p->wlan_client = kInvalidNodeId;
+    p->flow_id = -1;
+    p->proto = Proto::kUdp;
+    p->size_bytes = 0;
+    p->seq = 0;
+    p->end_seq = 0;
+    p->ack = 0;
+    p->created = 0;
+    p->ap_enqueued = -1;
+    p->link = nullptr;
+    p->refs = 1;
+    p->in_fifo = false;
+    ++live_;
+    return PacketPtr::Adopt(p);
+  }
+
+  void Release(Packet* p) noexcept {
+    ++p->generation;
+    p->link = free_head_;
+    free_head_ = p;
+    --live_;
+  }
+
+  // Introspection for pool-reuse tests: slots ever allocated (steady state: constant).
+  size_t slots() const { return chunks_.size() * kChunkSize; }
+  size_t live() const { return live_; }
+
+ private:
+  struct Chunk {
+    Packet packets[kChunkSize];
+  };
+
+  void Grow() {
+    chunks_.push_back(std::make_unique<Chunk>());
+    Chunk& chunk = *chunks_.back();
+    for (size_t i = kChunkSize; i > 0; --i) {
+      Packet& p = chunk.packets[i - 1];
+      p.pool = this;
+      p.link = free_head_;
+      free_head_ = &p;
+    }
+  }
+
+  std::vector<std::unique_ptr<Chunk>> chunks_;
+  Packet* free_head_ = nullptr;
+  size_t live_ = 0;
+};
+
+inline void PacketPtr::ReleaseRaw(Packet* p) noexcept {
+  if (p != nullptr && --p->refs == 0) {
+    p->pool->Release(p);
+  }
+}
+
+// Intrusive FIFO of pooled packets, threaded through Packet::link. PushBack moves the
+// handle's reference into the list; PopFront moves it back out - no refcount traffic,
+// no per-node deque churn, O(1) both ends. A packet is in at most one FIFO at a time.
+class PacketFifo {
+ public:
+  PacketFifo() = default;
+  PacketFifo(const PacketFifo&) = delete;
+  PacketFifo& operator=(const PacketFifo&) = delete;
+  PacketFifo(PacketFifo&& other) noexcept
+      : head_(std::exchange(other.head_, nullptr)),
+        tail_(std::exchange(other.tail_, nullptr)),
+        size_(std::exchange(other.size_, 0)) {}
+  PacketFifo& operator=(PacketFifo&& other) noexcept {
+    if (this != &other) {
+      Clear();
+      head_ = std::exchange(other.head_, nullptr);
+      tail_ = std::exchange(other.tail_, nullptr);
+      size_ = std::exchange(other.size_, 0);
+    }
+    return *this;
+  }
+  ~PacketFifo() { Clear(); }
+
+  bool empty() const { return head_ == nullptr; }
+  size_t size() const { return size_; }
+  Packet* front() const { return head_; }
+
+  // Precondition: the packet is not in any FIFO (callers that can receive duplicate
+  // references to a queued packet route through CloneIfQueued first).
+  void PushBack(PacketPtr packet) {
+    Packet* raw = packet.Detach();
+    raw->link = nullptr;
+    raw->in_fifo = true;
+    if (tail_ != nullptr) {
+      tail_->link = raw;
+    } else {
+      head_ = raw;
+    }
+    tail_ = raw;
+    ++size_;
+  }
+
+  // Precondition: !empty().
+  PacketPtr PopFront() {
+    Packet* raw = head_;
+    head_ = raw->link;
+    if (head_ == nullptr) {
+      tail_ = nullptr;
+    }
+    raw->link = nullptr;
+    raw->in_fifo = false;
+    --size_;
+    return PacketPtr::Adopt(raw);
+  }
+
+  void Clear() {
+    while (!empty()) {
+      PopFront();
+    }
+  }
+
+ private:
+  Packet* head_ = nullptr;
+  Packet* tail_ = nullptr;
+  size_t size_ = 0;
+};
+
+// Returns `p` itself unless it currently sits in a PacketFifo, in which case a
+// field-identical clone from the same pool is returned. Needed at enqueue boundaries
+// reachable by MAC duplicate deliveries (data delivered, ACK lost, retransmission
+// delivered again): the pre-pool code queued a second shared handle to the same packet;
+// with intrusive queues the second membership must be a distinct slot.
+inline PacketPtr CloneIfQueued(PacketPtr p) {
+  if (p == nullptr || !p->in_fifo) {
+    return p;
+  }
+  PacketPtr clone = p->pool->Allocate();
+  clone->src = p->src;
+  clone->dst = p->dst;
+  clone->wlan_client = p->wlan_client;
+  clone->flow_id = p->flow_id;
+  clone->proto = p->proto;
+  clone->size_bytes = p->size_bytes;
+  clone->seq = p->seq;
+  clone->end_seq = p->end_seq;
+  clone->ack = p->ack;
+  clone->created = p->created;
+  clone->ap_enqueued = p->ap_enqueued;
+  return clone;
+}
+
+inline PacketPtr MakeUdpPacket(PacketPool& pool, NodeId src, NodeId dst,
+                               NodeId wlan_client, int flow_id, int size_bytes,
+                               int64_t seq, TimeNs now) {
+  PacketPtr p = pool.Allocate();
   p->src = src;
   p->dst = dst;
   p->wlan_client = wlan_client;

@@ -8,8 +8,10 @@
 namespace tbf::net {
 namespace {
 
-PacketPtr MakeSegment(const FlowAddress& addr, Proto proto, int size, TimeNs now) {
-  auto p = std::make_shared<Packet>();
+// Pool-backed segment construction: a freelist pop in steady state, never the heap.
+PacketPtr MakeSegment(PacketPool& pool, const FlowAddress& addr, Proto proto, int size,
+                      TimeNs now) {
+  PacketPtr p = pool.Allocate();
   p->flow_id = addr.flow_id;
   p->wlan_client = addr.wlan_client;
   p->proto = proto;
@@ -20,8 +22,10 @@ PacketPtr MakeSegment(const FlowAddress& addr, Proto proto, int size, TimeNs now
 
 }  // namespace
 
-TcpSender::TcpSender(sim::Simulator* sim, TcpConfig config, FlowAddress addr, SendFn send)
+TcpSender::TcpSender(sim::Simulator* sim, PacketPool* pool, TcpConfig config,
+                     FlowAddress addr, SendFn send)
     : sim_(sim),
+      pool_(pool),
       config_(config),
       addr_(addr),
       send_(std::move(send)),
@@ -113,7 +117,8 @@ int TcpSender::RetransmitPayload(int64_t seq) const {
 }
 
 void TcpSender::EmitSegment(int64_t seq, int payload, bool is_retransmit) {
-  PacketPtr p = MakeSegment(addr_, Proto::kTcpData, payload + kIpTcpHeaderBytes, sim_->Now());
+  PacketPtr p =
+      MakeSegment(*pool_, addr_, Proto::kTcpData, payload + kIpTcpHeaderBytes, sim_->Now());
   p->src = addr_.sender;
   p->dst = addr_.receiver;
   p->seq = seq;
@@ -269,9 +274,10 @@ void TcpSender::UpdateRtt(TimeNs sample) {
   rto_ = std::clamp(srtt_ + 4 * rttvar_, config_.min_rto, config_.max_rto);
 }
 
-TcpReceiver::TcpReceiver(sim::Simulator* sim, TcpConfig config, FlowAddress addr, SendFn send,
-                         DeliverFn deliver)
+TcpReceiver::TcpReceiver(sim::Simulator* sim, PacketPool* pool, TcpConfig config,
+                         FlowAddress addr, SendFn send, DeliverFn deliver)
     : sim_(sim),
+      pool_(pool),
       config_(config),
       addr_(addr),
       send_(std::move(send)),
@@ -287,10 +293,15 @@ void TcpReceiver::HandlePacket(const PacketPtr& packet) {
     return;
   }
   if (packet->seq > rcv_nxt_) {
-    // Hole: buffer and send an immediate duplicate ack.
-    auto [it, inserted] = out_of_order_.emplace(packet->seq, packet->end_seq);
-    if (!inserted) {
+    // Hole: buffer and send an immediate duplicate ack. Sorted-vector insert; the
+    // buffer holds one entry per outstanding hole (a handful), and keeps its capacity.
+    const auto it = std::lower_bound(
+        out_of_order_.begin(), out_of_order_.end(), packet->seq,
+        [](const std::pair<int64_t, int64_t>& e, int64_t seq) { return e.first < seq; });
+    if (it != out_of_order_.end() && it->first == packet->seq) {
       it->second = std::max(it->second, packet->end_seq);
+    } else {
+      out_of_order_.insert(it, {packet->seq, packet->end_seq});
     }
     SendAck();
     return;
@@ -298,9 +309,14 @@ void TcpReceiver::HandlePacket(const PacketPtr& packet) {
   // In-order (possibly overlapping) segment.
   const int64_t before = rcv_nxt_;
   rcv_nxt_ = packet->end_seq;
-  while (!out_of_order_.empty() && out_of_order_.begin()->first <= rcv_nxt_) {
-    rcv_nxt_ = std::max(rcv_nxt_, out_of_order_.begin()->second);
-    out_of_order_.erase(out_of_order_.begin());
+  size_t consumed = 0;
+  while (consumed < out_of_order_.size() && out_of_order_[consumed].first <= rcv_nxt_) {
+    rcv_nxt_ = std::max(rcv_nxt_, out_of_order_[consumed].second);
+    ++consumed;
+  }
+  if (consumed > 0) {
+    out_of_order_.erase(out_of_order_.begin(),
+                        out_of_order_.begin() + static_cast<std::ptrdiff_t>(consumed));
   }
   if (deliver_) {
     deliver_(rcv_nxt_ - before);
@@ -317,7 +333,7 @@ void TcpReceiver::HandlePacket(const PacketPtr& packet) {
 void TcpReceiver::SendAck() {
   delack_deadline_ = -1;  // Lazy disarm; a pending timer event fires as a no-op.
   unacked_segments_ = 0;
-  PacketPtr p = MakeSegment(addr_, Proto::kTcpAck, kIpTcpHeaderBytes, sim_->Now());
+  PacketPtr p = MakeSegment(*pool_, addr_, Proto::kTcpAck, kIpTcpHeaderBytes, sim_->Now());
   p->src = addr_.receiver;
   p->dst = addr_.sender;
   p->ack = rcv_nxt_;

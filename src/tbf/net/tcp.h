@@ -12,7 +12,8 @@
 #define TBF_NET_TCP_H_
 
 #include <functional>
-#include <map>
+#include <utility>
+#include <vector>
 
 #include "tbf/net/demux.h"
 #include "tbf/net/packet.h"
@@ -50,7 +51,10 @@ class TcpSender : public PacketHandler {
   // smoothing - the per-flow latency meters consume the sample distribution, not srtt.
   using RttSampleFn = std::function<void(TimeNs sample)>;
 
-  TcpSender(sim::Simulator* sim, TcpConfig config, FlowAddress addr, SendFn send);
+  // Segments (data and retransmissions) are drawn from `pool`, which must outlive the
+  // sender; in steady state emission is allocation-free (freelist reuse).
+  TcpSender(sim::Simulator* sim, PacketPool* pool, TcpConfig config, FlowAddress addr,
+            SendFn send);
 
   // Application model. task_bytes == 0 means an unbounded (fluid-model) transfer.
   void SetTaskBytes(int64_t bytes) { task_bytes_ = bytes; }
@@ -96,6 +100,7 @@ class TcpSender : public PacketHandler {
   int64_t FlightSize() const { return snd_nxt_ - snd_una_; }
 
   sim::Simulator* sim_;
+  PacketPool* pool_;
   TcpConfig config_;
   FlowAddress addr_;
   SendFn send_;
@@ -146,8 +151,9 @@ class TcpReceiver : public PacketHandler {
   // Called with the count of newly in-order payload bytes.
   using DeliverFn = std::function<void(int64_t bytes)>;
 
-  TcpReceiver(sim::Simulator* sim, TcpConfig config, FlowAddress addr, SendFn send,
-              DeliverFn deliver = nullptr);
+  // Acks are drawn from `pool` (same lifetime contract as TcpSender's).
+  TcpReceiver(sim::Simulator* sim, PacketPool* pool, TcpConfig config, FlowAddress addr,
+              SendFn send, DeliverFn deliver = nullptr);
 
   // PacketHandler - receives data segments.
   void HandlePacket(const PacketPtr& packet) override;
@@ -162,13 +168,18 @@ class TcpReceiver : public PacketHandler {
   void OnDelackTimer();
 
   sim::Simulator* sim_;
+  PacketPool* pool_;
   TcpConfig config_;
   FlowAddress addr_;
   SendFn send_;
   DeliverFn deliver_;
 
   int64_t rcv_nxt_ = 0;
-  std::map<int64_t, int64_t> out_of_order_;  // seq -> end_seq.
+  // Out-of-order holes, sorted by seq: {seq, end_seq}. A handful of entries at most
+  // (one per loss burst), and the vector keeps its capacity across loss episodes, so
+  // segment processing performs no heap allocation in steady state - unlike the
+  // node-based map it replaces, which allocated on every buffered hole.
+  std::vector<std::pair<int64_t, int64_t>> out_of_order_;
   int unacked_segments_ = 0;
   // Lazy delayed-ack timer, same deadline-revalidation pattern as the sender's RTO:
   // sending an ack just clears the deadline and lets the pending event fire as a no-op,

@@ -26,12 +26,14 @@ class UdpSource {
  public:
   using SendFn = std::function<void(PacketPtr)>;
 
-  // `rng`, when provided, jitters each inter-packet gap by +-5% (mean preserved); this
-  // prevents phase lock between multiple CBR sources sharing a drop-tail queue.
-  UdpSource(sim::Simulator* sim, FlowAddress addr, SendFn send, BitRate rate_bps,
-            int packet_bytes = 1500, int64_t task_payload_bytes = 0,
+  // Datagrams are drawn from `pool`, which must outlive the source. `rng`, when
+  // provided, jitters each inter-packet gap by +-5% (mean preserved); this prevents
+  // phase lock between multiple CBR sources sharing a drop-tail queue.
+  UdpSource(sim::Simulator* sim, PacketPool* pool, FlowAddress addr, SendFn send,
+            BitRate rate_bps, int packet_bytes = 1500, int64_t task_payload_bytes = 0,
             sim::Rng* rng = nullptr)
       : sim_(sim),
+        pool_(pool),
         addr_(addr),
         send_(std::move(send)),
         rate_bps_(rate_bps),
@@ -73,7 +75,7 @@ class UdpSource {
       payload = static_cast<int>(
           std::min<int64_t>(payload, target_payload_ - sent_payload_));
     }
-    PacketPtr p = MakeUdpPacket(addr_.sender, addr_.receiver, addr_.wlan_client,
+    PacketPtr p = MakeUdpPacket(*pool_, addr_.sender, addr_.receiver, addr_.wlan_client,
                                 addr_.flow_id, payload + kIpUdpHeaderBytes, seq_++,
                                 sim_->Now());
     sent_payload_ += payload;
@@ -89,6 +91,7 @@ class UdpSource {
   }
 
   sim::Simulator* sim_;
+  PacketPool* pool_;
   FlowAddress addr_;
   SendFn send_;
   BitRate rate_bps_;

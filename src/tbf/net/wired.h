@@ -6,7 +6,6 @@
 #ifndef TBF_NET_WIRED_H_
 #define TBF_NET_WIRED_H_
 
-#include <deque>
 #include <functional>
 
 #include "tbf/net/packet.h"
@@ -32,38 +31,63 @@ class WiredLink {
   int64_t drops() const { return drops_; }
 
  private:
+  // Serialization is tracked as a busy-until timestamp instead of a pump event per
+  // packet: an idle-link send costs exactly one event (the delivery), and only a
+  // genuinely backlogged direction runs a drain chain - on an uncongested backbone
+  // (the common case: 100 Mbps wired vs a ~6 Mbps wireless hop) this halves the
+  // event-kernel traffic the wired hop generates.
   struct Direction {
     DeliverFn deliver;
-    std::deque<PacketPtr> queue;
-    bool busy = false;
+    PacketFifo queue;
+    TimeNs busy_until = 0;
+    bool drain_scheduled = false;
   };
 
   void Send(Direction& dir, PacketPtr p) {
+    if (sim_->Now() >= dir.busy_until && !dir.drain_scheduled) {
+      Transmit(dir, std::move(p));  // Link idle and nothing queued ahead.
+      return;
+    }
     if (dir.queue.size() >= queue_limit_) {
       ++drops_;
       return;
     }
-    dir.queue.push_back(std::move(p));
-    if (!dir.busy) {
-      StartTx(dir);
+    // MAC duplicate deliveries (uplink data whose ACK was lost) can forward the same
+    // packet again while its first copy still waits in this queue; enqueue a clone.
+    p = CloneIfQueued(std::move(p));
+    dir.queue.PushBack(std::move(p));
+    if (!dir.drain_scheduled) {
+      dir.drain_scheduled = true;
+      sim_->ScheduleAt(dir.busy_until, [this, &dir] { Drain(dir); });
     }
   }
 
-  void StartTx(Direction& dir) {
-    if (dir.queue.empty()) {
-      dir.busy = false;
-      return;
-    }
-    dir.busy = true;
-    PacketPtr p = std::move(dir.queue.front());
-    dir.queue.pop_front();
+  void Transmit(Direction& dir, PacketPtr p) {
     const TimeNs tx_time = TransmissionTime(p->size_bytes, rate_);
-    sim_->Schedule(tx_time + delay_, [&dir, p] {
+    dir.busy_until = sim_->Now() + tx_time;
+    // The in-flight reference rides as a raw detached handle so the callback capture
+    // stays trivially copyable (no refcount traffic or relocate thunk in the event slab).
+    Packet* raw = p.Detach();
+    sim_->Schedule(tx_time + delay_, [&dir, raw] {
+      PacketPtr delivered = PacketPtr::Adopt(raw);
       if (dir.deliver) {
-        dir.deliver(p);
+        dir.deliver(std::move(delivered));
       }
     });
-    sim_->Schedule(tx_time, [this, &dir] { StartTx(dir); });
+  }
+
+  // Fires when the serialization ahead of the queued backlog ends; FIFO order is
+  // preserved because Send never bypasses a scheduled drain.
+  void Drain(Direction& dir) {
+    dir.drain_scheduled = false;
+    if (dir.queue.empty()) {
+      return;
+    }
+    Transmit(dir, dir.queue.PopFront());
+    if (!dir.queue.empty()) {
+      dir.drain_scheduled = true;
+      sim_->ScheduleAt(dir.busy_until, [this, &dir] { Drain(dir); });
+    }
   }
 
   sim::Simulator* sim_;

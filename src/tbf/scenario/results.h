@@ -26,9 +26,11 @@ struct LatencySummary {
     LatencySummary out;
     out.count = sketch.count();
     if (out.count > 0) {
-      out.p50 = static_cast<TimeNs>(std::llround(sketch.Quantile(0.50)));
-      out.p95 = static_cast<TimeNs>(std::llround(sketch.Quantile(0.95)));
-      out.p99 = static_cast<TimeNs>(std::llround(sketch.Quantile(0.99)));
+      double q[3];
+      sketch.Quantiles3(0.50, 0.95, 0.99, q);
+      out.p50 = static_cast<TimeNs>(std::llround(q[0]));
+      out.p95 = static_cast<TimeNs>(std::llround(q[1]));
+      out.p99 = static_cast<TimeNs>(std::llround(q[2]));
     }
     return out;
   }

@@ -292,9 +292,10 @@ void Wlan::Build() {
     if (spec.transport == Transport::kTcp) {
       net::TcpConfig tcp;
       tcp.mss = spec.packet_bytes - net::kIpTcpHeaderBytes;
-      rt->tcp_sender = std::make_unique<net::TcpSender>(&sim_, tcp, addr, sender_out);
-      rt->tcp_receiver =
-          std::make_unique<net::TcpReceiver>(&sim_, tcp, addr, receiver_out, deliver);
+      rt->tcp_sender =
+          std::make_unique<net::TcpSender>(&sim_, &packet_pool_, tcp, addr, sender_out);
+      rt->tcp_receiver = std::make_unique<net::TcpReceiver>(&sim_, &packet_pool_, tcp,
+                                                            addr, receiver_out, deliver);
       if (first_task > 0) {
         rt->tcp_sender->SetTaskBytes(first_task);
         // TCP tasks complete when the final byte is cumulatively acked.
@@ -312,9 +313,10 @@ void Wlan::Build() {
     } else {
       // The source packetizes finite tasks itself (ceiling division with a trimmed
       // final datagram), so exactly first_task payload bytes hit the wire.
-      rt->udp_source = std::make_unique<net::UdpSource>(&sim_, addr, sender_out,
-                                                        spec.udp_rate, spec.packet_bytes,
-                                                        first_task, rng_.get());
+      rt->udp_source = std::make_unique<net::UdpSource>(&sim_, &packet_pool_, addr,
+                                                        sender_out, spec.udp_rate,
+                                                        spec.packet_bytes, first_task,
+                                                        rng_.get());
       rt->udp_sink = std::make_unique<net::UdpSink>(deliver);
       demux_->Register(addr.receiver, addr.flow_id, rt->udp_sink.get());
       // Stagger CBR starts so synchronized sources do not phase-lock on shared queues.

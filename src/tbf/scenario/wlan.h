@@ -133,6 +133,7 @@ class Wlan {
   core::TimeBasedRegulator* tbr() { return tbr_; }
   mac::Medium* medium() { return medium_.get(); }
   sim::Simulator& simulator() { return sim_; }
+  net::PacketPool& packet_pool() { return packet_pool_; }
   net::WirelessHost* host(NodeId id);
 
  private:
@@ -150,8 +151,12 @@ class Wlan {
   std::vector<StationSpec> station_specs_;
   std::vector<FlowSpec> flow_specs_;
 
-  // Runtime (populated by Build).
+  // Runtime (populated by Build). The packet pool sits next to the Simulator and is
+  // declared right after it so it outlives every component that can hold packets
+  // (members below are destroyed first); each scenario owns its own pool, so sweep
+  // workers never share one (TBF_SWEEP_THREADS stays race-free and bit-identical).
   sim::Simulator sim_;
+  net::PacketPool packet_pool_;
   std::unique_ptr<sim::Rng> rng_;
   std::unique_ptr<phy::FixedPerLink> fixed_loss_;
   std::unique_ptr<phy::SnrLossModel> snr_loss_;

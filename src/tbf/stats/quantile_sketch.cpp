@@ -26,15 +26,20 @@ int QuantileSketch::BucketIndex(double value) const {
 }
 
 void QuantileSketch::Add(double value) {
+  const int index = BucketIndex(value);
   if (counts_.empty()) {
     counts_.assign(static_cast<size_t>(bucket_count_), 0);
     min_ = value;
     max_ = value;
+    lo_ = index;
+    hi_ = index;
   } else {
     min_ = std::min(min_, value);
     max_ = std::max(max_, value);
+    lo_ = std::min(lo_, index);
+    hi_ = std::max(hi_, index);
   }
-  ++counts_[static_cast<size_t>(BucketIndex(value))];
+  ++counts_[static_cast<size_t>(index)];
   ++count_;
 }
 
@@ -51,9 +56,32 @@ void QuantileSketch::Merge(const QuantileSketch& other) {
   min_ = std::min(min_, other.min_);
   max_ = std::max(max_, other.max_);
   count_ += other.count_;
-  for (size_t i = 0; i < counts_.size(); ++i) {
-    counts_[i] += other.counts_[i];
+  // Only the occupied window carries non-zero counts; adding zeros is a no-op, so the
+  // windowed add is bitwise identical to the full-array add it replaces.
+  for (int i = other.lo_; i <= other.hi_; ++i) {
+    counts_[static_cast<size_t>(i)] += other.counts_[static_cast<size_t>(i)];
   }
+  lo_ = std::min(lo_, other.lo_);
+  hi_ = std::max(hi_, other.hi_);
+}
+
+int QuantileSketch::BucketForRank(int64_t rank) const {
+  int64_t cumulative = 0;
+  for (int i = lo_; i <= hi_; ++i) {
+    cumulative += counts_[static_cast<size_t>(i)];
+    if (cumulative >= rank) {
+      return i;
+    }
+  }
+  return hi_;  // Unreachable while rank <= count_.
+}
+
+// Geometric midpoint of (gamma^(i-1), gamma^i], within (1 +- e) of every value in the
+// bucket. Bucket 0 holds values at or below kMinValue; its representative is the range
+// floor, and the caller's clamp substitutes the exact min when every sample sits there.
+double QuantileSketch::Representative(int bucket) const {
+  return bucket == 0 ? kMinValue
+                     : 2.0 * std::pow(gamma_, static_cast<double>(bucket)) / (gamma_ + 1.0);
 }
 
 double QuantileSketch::Quantile(double q) const {
@@ -63,22 +91,33 @@ double QuantileSketch::Quantile(double q) const {
   q = std::clamp(q, 0.0, 1.0);
   const int64_t rank =
       std::max<int64_t>(1, static_cast<int64_t>(std::ceil(q * static_cast<double>(count_))));
+  return std::clamp(Representative(BucketForRank(rank)), min_, max_);
+}
+
+void QuantileSketch::Quantiles3(double q1, double q2, double q3, double out[3]) const {
+  if (count_ == 0) {
+    out[0] = out[1] = out[2] = 0.0;
+    return;
+  }
+  const double qs[3] = {q1, q2, q3};
+  int64_t ranks[3];
+  for (int k = 0; k < 3; ++k) {
+    const double q = std::clamp(qs[k], 0.0, 1.0);
+    ranks[k] = std::max<int64_t>(
+        1, static_cast<int64_t>(std::ceil(q * static_cast<double>(count_))));
+    TBF_CHECK(k == 0 || ranks[k] >= ranks[k - 1]) << "Quantiles3 needs ascending qs";
+  }
   int64_t cumulative = 0;
-  size_t bucket = counts_.size() - 1;
-  for (size_t i = 0; i < counts_.size(); ++i) {
-    cumulative += counts_[i];
-    if (cumulative >= rank) {
-      bucket = i;
-      break;
+  int k = 0;
+  for (int i = lo_; i <= hi_ && k < 3; ++i) {
+    cumulative += counts_[static_cast<size_t>(i)];
+    while (k < 3 && cumulative >= ranks[k]) {
+      out[k++] = std::clamp(Representative(i), min_, max_);
     }
   }
-  // Geometric midpoint of (gamma^(i-1), gamma^i], within (1 +- e) of every value in the
-  // bucket. Bucket 0 holds values at or below kMinValue; its representative is the range
-  // floor, and the clamp below substitutes the exact min when every sample sits there.
-  const double representative =
-      bucket == 0 ? kMinValue
-                  : 2.0 * std::pow(gamma_, static_cast<double>(bucket)) / (gamma_ + 1.0);
-  return std::clamp(representative, min_, max_);
+  for (; k < 3; ++k) {
+    out[k] = std::clamp(Representative(hi_), min_, max_);  // Unreachable in practice.
+  }
 }
 
 }  // namespace tbf::stats

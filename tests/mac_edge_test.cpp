@@ -13,6 +13,13 @@
 namespace tbf::mac {
 namespace {
 
+// Process-lifetime pool: frames and exchange records may be released during teardown of
+// media/simulators declared in any order, so the pool must outlive them all.
+net::PacketPool& TestPool() {
+  static net::PacketPool pool;
+  return pool;
+}
+
 class Station : public FrameProvider, public FrameSink {
  public:
   Station(Medium* medium, NodeId id, NodeId peer, phy::WifiRate rate, int64_t budget = -1)
@@ -27,7 +34,7 @@ class Station : public FrameProvider, public FrameSink {
     if (budget_ > 0) {
       --budget_;
     }
-    auto p = net::MakeUdpPacket(id_, peer_, id_, 0, 1500, seq_++, 0);
+    auto p = net::MakeUdpPacket(TestPool(), id_, peer_, id_, 0, 1500, seq_++, 0);
     return MakeDataFrame(id_, peer_, std::move(p), rate_);
   }
 

@@ -11,6 +11,13 @@
 namespace tbf::mac {
 namespace {
 
+// Process-lifetime pool: frames and exchange records may be released during teardown of
+// media/simulators declared in any order, so the pool must outlive them all.
+net::PacketPool& TestPool() {
+  static net::PacketPool pool;
+  return pool;
+}
+
 // A station that keeps the channel saturated with fixed-size frames to a single peer
 // (or sends a bounded number of frames when `frame_budget` >= 0).
 class TestStation : public FrameProvider, public FrameSink {
@@ -33,8 +40,8 @@ class TestStation : public FrameProvider, public FrameSink {
     if (frame_budget_ > 0) {
       --frame_budget_;
     }
-    auto p = net::MakeUdpPacket(id_, peer_, id_ == kApId ? peer_ : id_, /*flow_id=*/0,
-                                packet_bytes_, seq_++, 0);
+    auto p = net::MakeUdpPacket(TestPool(), id_, peer_, id_ == kApId ? peer_ : id_,
+                                /*flow_id=*/0, packet_bytes_, seq_++, 0);
     return MakeDataFrame(id_, peer_, std::move(p), rate_);
   }
 

@@ -13,8 +13,13 @@
 namespace tbf::net {
 namespace {
 
+PacketPool& TestPool() {
+  static PacketPool pool;
+  return pool;
+}
+
 PacketPtr MakePacket(NodeId src, NodeId dst, NodeId client, int flow, int bytes = 1500) {
-  auto p = std::make_shared<Packet>();
+  PacketPtr p = TestPool().Allocate();
   p->src = src;
   p->dst = dst;
   p->wlan_client = client;
@@ -95,8 +100,8 @@ TEST(DemuxTest, RoutesByNodeAndFlow) {
 
 TEST(UdpSinkTest, DeduplicatesBySequence) {
   UdpSink sink;
-  auto p1 = MakeUdpPacket(kServerId, 1, 1, 1, 1500, /*seq=*/0, 0);
-  auto p2 = MakeUdpPacket(kServerId, 1, 1, 1, 1500, /*seq=*/1, 0);
+  auto p1 = MakeUdpPacket(TestPool(), kServerId, 1, 1, 1, 1500, /*seq=*/0, 0);
+  auto p2 = MakeUdpPacket(TestPool(), kServerId, 1, 1, 1, 1500, /*seq=*/1, 0);
   sink.HandlePacket(p1);
   sink.HandlePacket(p1);  // MAC-level duplicate.
   sink.HandlePacket(p2);
@@ -112,8 +117,8 @@ TEST(UdpSourceTest, EmitsAtConfiguredRate) {
   addr.receiver = 1;
   addr.wlan_client = 1;
   int64_t sent_bytes = 0;
-  UdpSource source(&sim, addr, [&](PacketPtr p) { sent_bytes += p->size_bytes; }, Mbps(2),
-                   1500);
+  UdpSource source(&sim, &TestPool(), addr,
+                   [&](PacketPtr p) { sent_bytes += p->size_bytes; }, Mbps(2), 1500);
   source.Start();
   sim.RunUntil(Sec(5));
   EXPECT_NEAR(static_cast<double>(sent_bytes) * 8.0 / 5.0, 2e6, 0.05e6);
@@ -126,7 +131,7 @@ TEST(UdpSourceTest, BoundedTaskSendsExactPayload) {
   int sent = 0;
   int64_t payload = 0;
   const int64_t task = 7 * (1500 - kIpUdpHeaderBytes);
-  UdpSource source(&sim, addr,
+  UdpSource source(&sim, &TestPool(), addr,
                    [&](PacketPtr p) {
                      ++sent;
                      payload += p->PayloadBytes();
@@ -148,7 +153,7 @@ TEST(UdpSourceTest, OddTaskSizeTrimsFinalDatagram) {
   // Not a multiple of the 1472-byte payload: the old floor-division packet count
   // silently under-sent this task by 1000 bytes.
   const int64_t task = 2 * (1500 - kIpUdpHeaderBytes) + 1000;
-  UdpSource source(&sim, addr,
+  UdpSource source(&sim, &TestPool(), addr,
                    [&](PacketPtr p) {
                      ++sent;
                      payload += p->PayloadBytes();
@@ -168,7 +173,7 @@ TEST(UdpSourceTest, AddTaskResumesDrainedSource) {
   addr.flow_id = 1;
   int64_t payload = 0;
   int64_t max_seq = -1;
-  UdpSource source(&sim, addr,
+  UdpSource source(&sim, &TestPool(), addr,
                    [&](PacketPtr p) {
                      payload += p->PayloadBytes();
                      max_seq = std::max(max_seq, p->seq);

@@ -1,0 +1,237 @@
+// Proves the packet path's zero-allocation steady state and the PacketPool's
+// refcount/reuse/generation semantics.
+//
+// Like tests/sim_alloc_test.cpp, this binary replaces global operator new/delete with
+// counting versions (the test-local allocation-counting harness), so it must stay its
+// own executable. The headline tests pin that a saturated 64-station TBR second and a
+// TCP-uplink second perform no heap allocation at all once warm - every packet is a
+// pool freelist pop, every queue hop an intrusive-list splice, every event a slab slot.
+// A SweepRunner test pins the per-scenario-pool claim: concurrent workers each own
+// their pool and produce bit-identical Results for any pool size (the TSan CTest
+// configuration runs it under ThreadSanitizer; counters are atomic for that reason).
+#include <atomic>
+#include <cstdlib>
+#include <new>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "tbf/net/packet.h"
+#include "tbf/scenario/wlan.h"
+#include "tbf/sweep/sweep_runner.h"
+#include "tbf/util/units.h"
+
+namespace {
+
+std::atomic<int64_t> g_news{0};
+std::atomic<int64_t> g_deletes{0};
+
+}  // namespace
+
+void* operator new(std::size_t size) {
+  g_news.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(size)) {
+    return p;
+  }
+  throw std::bad_alloc();
+}
+
+void* operator new[](std::size_t size) { return ::operator new(size); }
+
+void operator delete(void* p) noexcept {
+  g_deletes.fetch_add(1, std::memory_order_relaxed);
+  std::free(p);
+}
+
+void operator delete(void* p, std::size_t) noexcept { ::operator delete(p); }
+void operator delete[](void* p) noexcept { ::operator delete(p); }
+void operator delete[](void* p, std::size_t) noexcept { ::operator delete(p); }
+
+namespace tbf {
+namespace {
+
+TEST(PacketPoolTest, RefcountAndGenerationSemantics) {
+  net::PacketPool pool;
+  net::PacketPtr a = pool.Allocate();
+  net::Packet* raw = a.get();
+  const uint32_t generation = raw->generation;
+  EXPECT_EQ(pool.live(), 1u);
+  EXPECT_EQ(raw->refs, 1u);
+
+  {
+    net::PacketPtr b = a;  // Copy: non-atomic refcount bump, same slot.
+    EXPECT_EQ(raw->refs, 2u);
+    EXPECT_EQ(b.get(), raw);
+  }
+  EXPECT_EQ(raw->refs, 1u) << "copy destruction must drop exactly one reference";
+  EXPECT_EQ(pool.live(), 1u) << "slot must stay live while a handle exists";
+
+  a.reset();
+  EXPECT_EQ(pool.live(), 0u);
+  EXPECT_EQ(raw->generation, generation + 1) << "release bumps the generation tag";
+
+  // LIFO freelist reuse: the next allocation hands the same slot back, with the wire
+  // fields reset to fresh-packet defaults (reuse must be indistinguishable from new).
+  net::PacketPtr c = pool.Allocate();
+  EXPECT_EQ(c.get(), raw);
+  EXPECT_EQ(c->src, kInvalidNodeId);
+  EXPECT_EQ(c->wlan_client, kInvalidNodeId);
+  EXPECT_EQ(c->flow_id, -1);
+  EXPECT_EQ(c->size_bytes, 0);
+  EXPECT_EQ(c->seq, 0);
+  EXPECT_EQ(c->ap_enqueued, -1);
+  EXPECT_EQ(c->refs, 1u);
+}
+
+TEST(PacketPoolTest, DetachAdoptTransfersTheReference) {
+  net::PacketPool pool;
+  net::PacketPtr a = pool.Allocate();
+  net::Packet* raw = a.Detach();  // Ownership leaves the handle, ref stays counted.
+  EXPECT_EQ(a.get(), nullptr);
+  EXPECT_EQ(raw->refs, 1u);
+  EXPECT_EQ(pool.live(), 1u);
+
+  net::Packet* extra = net::PacketPtr::Adopt(raw).DetachCopy();  // +1 then detach again.
+  EXPECT_EQ(extra, raw);
+  EXPECT_EQ(raw->refs, 1u);  // Adopt temporary released its ref; DetachCopy's survives.
+  net::PacketPtr::Adopt(extra).reset();
+  EXPECT_EQ(pool.live(), 0u);
+}
+
+TEST(PacketPoolTest, ChunkGrowthKeepsAddressesStable) {
+  net::PacketPool pool;
+  std::vector<net::PacketPtr> held;
+  held.reserve(3 * net::PacketPool::kChunkSize);
+  for (size_t i = 0; i < 3 * net::PacketPool::kChunkSize; ++i) {
+    held.push_back(pool.Allocate());
+    held.back()->seq = static_cast<int64_t>(i);
+  }
+  EXPECT_EQ(pool.slots(), 3 * net::PacketPool::kChunkSize);
+  for (size_t i = 0; i < held.size(); ++i) {
+    EXPECT_EQ(held[i]->seq, static_cast<int64_t>(i)) << "chunk moved under a live handle";
+  }
+  held.clear();
+  EXPECT_EQ(pool.live(), 0u);
+  EXPECT_EQ(pool.slots(), 3 * net::PacketPool::kChunkSize) << "slots are reused, not freed";
+}
+
+TEST(PacketFifoTest, FifoOrderWithoutRefcountTraffic) {
+  net::PacketPool pool;
+  net::PacketFifo fifo;
+  for (int i = 0; i < 5; ++i) {
+    net::PacketPtr p = pool.Allocate();
+    p->seq = i;
+    fifo.PushBack(std::move(p));
+  }
+  EXPECT_EQ(fifo.size(), 5u);
+  EXPECT_EQ(fifo.front()->seq, 0);
+  for (int i = 0; i < 5; ++i) {
+    net::PacketPtr p = fifo.PopFront();
+    EXPECT_EQ(p->seq, i);
+    EXPECT_EQ(p->refs, 1u) << "the list holds the handle's reference, not a copy";
+  }
+  EXPECT_TRUE(fifo.empty());
+
+  // Clear releases everything back to the pool.
+  fifo.PushBack(pool.Allocate());
+  fifo.PushBack(pool.Allocate());
+  fifo.Clear();
+  EXPECT_EQ(pool.live(), 0u);
+}
+
+// Saturated 64-station TBR cell, downlink UDP above capacity: AP queues full, drop-tail
+// active, FILL/ADJUST timers running - the packet path's worst case. After a two-second
+// warmup every structure (packet pool, event slab, wheel, qdisc tables, meters,
+// sketches) has reached its working-set size; a further simulated second must perform
+// zero heap allocations and grow neither the packet pool nor the event slab.
+TEST(PacketPoolAllocTest, SaturatedUdpTbrSecondIsAllocationFree) {
+  scenario::ScenarioConfig config;
+  config.qdisc = scenario::QdiscKind::kTbr;
+  scenario::Wlan wlan(config);
+  for (NodeId id = 1; id <= 64; ++id) {
+    wlan.AddStation(id, phy::WifiRate::k11Mbps);
+    wlan.AddSaturatingUdp(id, scenario::Direction::kDownlink);
+  }
+  wlan.BuildNow();
+  sim::Simulator& sim = wlan.simulator();
+  sim.RunUntil(Sec(2));
+
+  const size_t pool_slots = wlan.packet_pool().slots();
+  const size_t event_slots = sim.event_pool_slots();
+  const int64_t news_before = g_news.load();
+  const int64_t deletes_before = g_deletes.load();
+  sim.RunUntil(Sec(3));
+  EXPECT_EQ(g_news.load(), news_before) << "packet path allocated in steady state";
+  EXPECT_EQ(g_deletes.load(), deletes_before);
+  EXPECT_EQ(wlan.packet_pool().slots(), pool_slots) << "packet pool grew in steady state";
+  EXPECT_EQ(sim.event_pool_slots(), event_slots);
+  EXPECT_GT(wlan.packet_pool().slots(), 0u);
+}
+
+// TCP counterpart: 8 saturated uplink flows (ack clocking, delayed acks, lazy RTO/delack
+// timers, pooled segments and acks). Steady state must also be allocation-free.
+TEST(PacketPoolAllocTest, SaturatedTcpUplinkSecondIsAllocationFree) {
+  scenario::ScenarioConfig config;
+  scenario::Wlan wlan(config);
+  for (NodeId id = 1; id <= 8; ++id) {
+    wlan.AddStation(id, phy::WifiRate::k11Mbps);
+    wlan.AddBulkTcp(id, scenario::Direction::kUplink);
+  }
+  wlan.BuildNow();
+  sim::Simulator& sim = wlan.simulator();
+  sim.RunUntil(Sec(2));
+
+  const size_t pool_slots = wlan.packet_pool().slots();
+  const int64_t news_before = g_news.load();
+  sim.RunUntil(Sec(3));
+  EXPECT_EQ(g_news.load(), news_before) << "TCP packet path allocated in steady state";
+  EXPECT_EQ(wlan.packet_pool().slots(), pool_slots);
+}
+
+// Per-scenario-pool claim under the sweep runner: each worker's Wlan owns its own
+// PacketPool, so concurrent grids are race-free (TSan enforces) and the Results are
+// bit-identical to the serial run for any pool size.
+TEST(PacketPoolSweepTest, PooledScenariosAreBitIdenticalAcrossPoolSizes) {
+  auto make_jobs = [] {
+    std::vector<sweep::ScenarioJob> jobs;
+    for (int variant = 0; variant < 6; ++variant) {
+      sweep::ScenarioJob job;
+      job.config.qdisc =
+          variant % 2 == 0 ? scenario::QdiscKind::kTbr : scenario::QdiscKind::kFifo;
+      job.config.warmup = 0;
+      job.config.duration = Sec(1);
+      job.config.seed = static_cast<uint64_t>(variant + 1);
+      for (NodeId id = 1; id <= 4; ++id) {
+        scenario::StationSpec station;
+        station.id = id;
+        station.rate = id % 2 == 0 ? phy::WifiRate::k11Mbps : phy::WifiRate::k2Mbps;
+        job.stations.push_back(station);
+        scenario::FlowSpec flow;
+        flow.client = id;
+        flow.direction =
+            variant % 3 == 0 ? scenario::Direction::kUplink : scenario::Direction::kDownlink;
+        flow.transport = id % 2 == 0 ? scenario::Transport::kTcp : scenario::Transport::kUdp;
+        flow.udp_rate = Mbps(6);
+        job.flows.push_back(flow);
+      }
+      jobs.push_back(std::move(job));
+    }
+    return jobs;
+  };
+
+  const std::vector<sweep::ScenarioJob> jobs = make_jobs();
+  sweep::SweepRunner serial(1);
+  const std::vector<scenario::Results> reference = serial.RunScenarios(jobs);
+  for (int threads : {2, 4}) {
+    sweep::SweepRunner runner(threads);
+    const std::vector<scenario::Results> parallel = runner.RunScenarios(jobs);
+    ASSERT_EQ(parallel.size(), reference.size());
+    for (size_t i = 0; i < reference.size(); ++i) {
+      EXPECT_EQ(parallel[i], reference[i])
+          << "job " << i << " diverged on a " << threads << "-thread pool";
+    }
+  }
+}
+
+}  // namespace
+}  // namespace tbf

@@ -8,8 +8,13 @@
 namespace tbf::core {
 namespace {
 
+net::PacketPool& TestPool() {
+  static net::PacketPool pool;
+  return pool;
+}
+
 net::PacketPtr MakePacket(NodeId client, int size = 1500) {
-  auto p = std::make_shared<net::Packet>();
+  net::PacketPtr p = TestPool().Allocate();
   p->wlan_client = client;
   p->dst = client;
   p->size_bytes = size;

@@ -11,6 +11,11 @@
 namespace tbf::net {
 namespace {
 
+PacketPool& TestPool() {
+  static PacketPool pool;
+  return pool;
+}
+
 // A bidirectional pipe with per-direction serialization rate, propagation delay, a
 // drop-tail queue, and optional random loss.
 class Pipe {
@@ -84,10 +89,10 @@ struct Connection {
     addr.receiver = 2;
     addr.wlan_client = 1;
     TcpConfig config;
-    sender = std::make_unique<TcpSender>(sim, config, addr,
+    sender = std::make_unique<TcpSender>(sim, &TestPool(), config, addr,
                                          [this](PacketPtr p) { pipe.SendForward(p); });
     receiver = std::make_unique<TcpReceiver>(
-        sim, config, addr, [this](PacketPtr p) { pipe.SendReverse(p); },
+        sim, &TestPool(), config, addr, [this](PacketPtr p) { pipe.SendReverse(p); },
         [this](int64_t bytes) { delivered += bytes; });
     pipe.SetForwardSink([this](PacketPtr p) { receiver->HandlePacket(p); });
     pipe.SetReverseSink([this](PacketPtr p) { sender->HandlePacket(p); });
@@ -128,7 +133,7 @@ TEST(TcpTest, RetransmitDoesNotOvershootTaskBoundary) {
   int64_t delivered = 0;
   bool tail_dropped = false;
   sender = std::make_unique<TcpSender>(
-      &sim, config, addr, [&sim, &receiver, &tail_dropped, task](PacketPtr p) {
+      &sim, &TestPool(), config, addr, [&sim, &receiver, &tail_dropped, task](PacketPtr p) {
         if (!tail_dropped && p->end_seq == task) {
           tail_dropped = true;  // First transmission of the tail vanishes.
           return;
@@ -136,7 +141,7 @@ TEST(TcpTest, RetransmitDoesNotOvershootTaskBoundary) {
         sim.Schedule(Ms(1), [r = receiver.get(), p] { r->HandlePacket(p); });
       });
   receiver = std::make_unique<TcpReceiver>(
-      &sim, config, addr,
+      &sim, &TestPool(), config, addr,
       [&sim, &sender](PacketPtr p) {
         sim.Schedule(Ms(1), [s = sender.get(), p] { s->HandlePacket(p); });
       },
@@ -285,11 +290,11 @@ TEST(TcpTest, ReceiverReassemblesOutOfOrder) {
   std::vector<PacketPtr> acks;
   int64_t delivered = 0;
   TcpReceiver rx(
-      &sim, TcpConfig{}, addr, [&](PacketPtr p) { acks.push_back(p); },
+      &sim, &TestPool(), TcpConfig{}, addr, [&](PacketPtr p) { acks.push_back(p); },
       [&](int64_t b) { delivered += b; });
 
   auto seg = [&](int64_t seq, int len) {
-    auto p = std::make_shared<Packet>();
+    PacketPtr p = TestPool().Allocate();
     p->proto = Proto::kTcpData;
     p->flow_id = 1;
     p->seq = seq;
@@ -319,7 +324,7 @@ TEST(TcpTest, LazyRtoFiresAtLogicalDeadline) {
   addr.receiver = 2;
   TcpConfig config;
   int64_t sent = 0;
-  TcpSender sender(&sim, config, addr, [&](PacketPtr) { ++sent; });
+  TcpSender sender(&sim, &TestPool(), config, addr, [&](PacketPtr) { ++sent; });
   sender.SetTaskBytes(1'000'000);
   sender.Start();
   sim.RunUntil(Ms(1));
@@ -356,9 +361,9 @@ TEST(TcpTest, DelayedAckTimerStillFlushesTrailingSegment) {
   addr.receiver = 2;
   std::vector<std::pair<TimeNs, PacketPtr>> acks;
   TcpReceiver rx(
-      &sim, TcpConfig{}, addr,
+      &sim, &TestPool(), TcpConfig{}, addr,
       [&](PacketPtr p) { acks.emplace_back(sim.Now(), p); }, nullptr);
-  auto p = std::make_shared<Packet>();
+  PacketPtr p = TestPool().Allocate();
   p->proto = Proto::kTcpData;
   p->flow_id = 1;
   p->seq = 0;

@@ -6,6 +6,11 @@
 namespace tbf::trace {
 namespace {
 
+net::PacketPool& TestPool() {
+  static net::PacketPool pool;
+  return pool;
+}
+
 TraceRecord Record(TimeNs t, NodeId node, int bytes, phy::WifiRate rate,
                    bool success = true) {
   TraceRecord r;
@@ -190,7 +195,7 @@ TEST(SnifferTest, RecordsFromLiveMedium) {
         return std::nullopt;
       }
       ++count_;
-      auto p = net::MakeUdpPacket(e_.id(), peer_, e_.id(), 0, 1500, count_, 0);
+      auto p = net::MakeUdpPacket(TestPool(), e_.id(), peer_, e_.id(), 0, 1500, count_, 0);
       return mac::MakeDataFrame(e_.id(), peer_, std::move(p), phy::WifiRate::k5_5Mbps);
     }
     void OnTxComplete(const mac::MacFrame&, bool, int, TimeNs) override {}
