@@ -1,0 +1,690 @@
+#include "tbf/campaign/codec.h"
+
+#include <array>
+#include <bit>
+
+#include "tbf/util/logging.h"
+
+namespace tbf::campaign {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Primitive byte stream. The reader latches failure: once any read overruns or
+// fails validation, every subsequent read reports failure too, so decoders can
+// chain reads and check ok() once per structure.
+// ---------------------------------------------------------------------------
+
+class ByteWriter {
+ public:
+  void U8(uint8_t v) { out_.push_back(static_cast<char>(v)); }
+  void U32(uint32_t v) {
+    for (int i = 0; i < 4; ++i) {
+      out_.push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+    }
+  }
+  void U64(uint64_t v) {
+    for (int i = 0; i < 8; ++i) {
+      out_.push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+    }
+  }
+  void I32(int32_t v) { U32(static_cast<uint32_t>(v)); }
+  void I64(int64_t v) { U64(static_cast<uint64_t>(v)); }
+  void F64(double v) { U64(std::bit_cast<uint64_t>(v)); }
+  void Bool(bool v) { U8(v ? 1 : 0); }
+
+  std::string& str() { return out_; }
+  std::string Take() { return std::move(out_); }
+
+ private:
+  std::string out_;
+};
+
+class ByteReader {
+ public:
+  explicit ByteReader(std::string_view data) : data_(data) {}
+
+  uint8_t U8() {
+    if (!Need(1)) {
+      return 0;
+    }
+    return static_cast<uint8_t>(data_[pos_++]);
+  }
+  uint32_t U32() {
+    if (!Need(4)) {
+      return 0;
+    }
+    uint32_t v = 0;
+    for (int i = 0; i < 4; ++i) {
+      v |= static_cast<uint32_t>(static_cast<unsigned char>(data_[pos_ + i])) << (8 * i);
+    }
+    pos_ += 4;
+    return v;
+  }
+  uint64_t U64() {
+    if (!Need(8)) {
+      return 0;
+    }
+    uint64_t v = 0;
+    for (int i = 0; i < 8; ++i) {
+      v |= static_cast<uint64_t>(static_cast<unsigned char>(data_[pos_ + i])) << (8 * i);
+    }
+    pos_ += 8;
+    return v;
+  }
+  int32_t I32() { return static_cast<int32_t>(U32()); }
+  int64_t I64() { return static_cast<int64_t>(U64()); }
+  double F64() { return std::bit_cast<double>(U64()); }
+  bool Bool() {
+    const uint8_t v = U8();
+    if (v > 1) {
+      ok_ = false;
+    }
+    return v == 1;
+  }
+  // Container length, bounded so a corrupt count cannot drive a multi-GB resize.
+  uint32_t Count(uint32_t max) {
+    const uint32_t v = U32();
+    if (v > max) {
+      ok_ = false;
+      return 0;
+    }
+    return v;
+  }
+
+  bool ok() const { return ok_; }
+  size_t pos() const { return pos_; }
+  bool AtEnd() const { return ok_ && pos_ == data_.size(); }
+  std::string_view remaining() const { return data_.substr(pos_); }
+  void Advance(size_t n) {
+    if (Need(n)) {
+      pos_ += n;
+    }
+  }
+
+ private:
+  bool Need(size_t n) {
+    if (!ok_ || data_.size() - pos_ < n) {
+      ok_ = false;
+      return false;
+    }
+    return true;
+  }
+
+  std::string_view data_;
+  size_t pos_ = 0;
+  bool ok_ = true;
+};
+
+// Containers the decoders will allocate for: generous for real campaigns, small
+// enough that a corrupt count fails fast instead of OOMing the coordinator.
+constexpr uint32_t kMaxStations = 4096;
+constexpr uint32_t kMaxFlows = 65536;
+constexpr uint32_t kMaxTasks = 1u << 22;
+constexpr uint32_t kMaxArchiveJobs = 1u << 24;
+
+constexpr uint32_t kJobMagic = 0x43414a31;      // "CAJ1"
+constexpr uint32_t kResultsMagic = 0x43415231;  // "CAR1"
+constexpr uint32_t kArchiveMagic = 0x54424641;  // "TBFA"
+
+// ---------------------------------------------------------------------------
+// Enum codecs with range validation.
+// ---------------------------------------------------------------------------
+
+template <typename E>
+void PutEnum(ByteWriter& w, E value) {
+  w.U32(static_cast<uint32_t>(value));
+}
+
+template <typename E>
+E GetEnum(ByteReader& r, uint32_t max_inclusive, bool* ok) {
+  const uint32_t raw = r.U32();
+  if (raw > max_inclusive) {
+    *ok = false;
+    return static_cast<E>(0);
+  }
+  return static_cast<E>(raw);
+}
+
+// ---------------------------------------------------------------------------
+// Spec codecs.
+// ---------------------------------------------------------------------------
+
+void PutTimings(ByteWriter& w, const phy::MacTimings& t) {
+  w.I64(t.slot);
+  w.I64(t.sifs);
+  w.I32(t.cw_min);
+  w.I32(t.cw_max);
+  w.I32(t.retry_limit);
+}
+
+phy::MacTimings GetTimings(ByteReader& r) {
+  phy::MacTimings t;
+  t.slot = r.I64();
+  t.sifs = r.I64();
+  t.cw_min = r.I32();
+  t.cw_max = r.I32();
+  t.retry_limit = r.I32();
+  return t;
+}
+
+void PutTbr(ByteWriter& w, const core::TbrConfig& c) {
+  w.I64(c.fill_period);
+  w.I64(c.bucket_depth);
+  w.I64(c.initial_tokens);
+  w.Bool(c.enable_rate_adjust);
+  w.I64(c.adjust_period);
+  w.F64(c.adjust_threshold);
+  w.F64(c.usage_ewma_alpha);
+  w.F64(c.saturation_guard);
+  w.F64(c.min_rate);
+  w.Bool(c.maxmin_repair);
+  w.F64(c.repair_step);
+  w.Bool(c.work_conserving_fallback);
+  w.Bool(c.use_retry_info);
+  w.Bool(c.charge_contention_overhead);
+  w.U64(c.per_queue_limit);
+  w.Bool(c.client_agent);
+}
+
+core::TbrConfig GetTbr(ByteReader& r) {
+  core::TbrConfig c;
+  c.fill_period = r.I64();
+  c.bucket_depth = r.I64();
+  c.initial_tokens = r.I64();
+  c.enable_rate_adjust = r.Bool();
+  c.adjust_period = r.I64();
+  c.adjust_threshold = r.F64();
+  c.usage_ewma_alpha = r.F64();
+  c.saturation_guard = r.F64();
+  c.min_rate = r.F64();
+  c.maxmin_repair = r.Bool();
+  c.repair_step = r.F64();
+  c.work_conserving_fallback = r.Bool();
+  c.use_retry_info = r.Bool();
+  c.charge_contention_overhead = r.Bool();
+  c.per_queue_limit = static_cast<size_t>(r.U64());
+  c.client_agent = r.Bool();
+  return c;
+}
+
+void PutStation(ByteWriter& w, const scenario::StationSpec& s) {
+  w.I32(s.id);
+  PutEnum(w, s.rate);
+  w.F64(s.per);
+  w.Bool(s.arf);
+  w.F64(s.snr_db);
+  w.U64(s.queue_limit);
+}
+
+scenario::StationSpec GetStation(ByteReader& r, bool* ok) {
+  scenario::StationSpec s;
+  s.id = r.I32();
+  s.rate = GetEnum<phy::WifiRate>(r, phy::kNumWifiRates - 1, ok);
+  s.per = r.F64();
+  s.arf = r.Bool();
+  s.snr_db = r.F64();
+  s.queue_limit = static_cast<size_t>(r.U64());
+  return s;
+}
+
+void PutFlow(ByteWriter& w, const scenario::FlowSpec& f) {
+  w.I32(f.client);
+  PutEnum(w, f.direction);
+  PutEnum(w, f.transport);
+  PutEnum(w, f.model);
+  w.I64(f.task_bytes);
+  w.I32(f.task_count);
+  w.I64(f.task_gap);
+  w.F64(f.onoff.mean_flow_bytes);
+  w.F64(f.onoff.pareto_alpha);
+  w.F64(f.onoff.mean_think_sec);
+  w.U32(static_cast<uint32_t>(f.replay.size()));
+  for (const trace::ReplayTask& task : f.replay) {
+    w.I64(task.at);
+    w.I64(task.bytes);
+  }
+  w.I64(f.app_limit_bps);
+  w.I64(f.udp_rate);
+  w.I32(f.packet_bytes);
+  w.I64(f.start);
+}
+
+scenario::FlowSpec GetFlow(ByteReader& r, bool* ok) {
+  scenario::FlowSpec f;
+  f.client = r.I32();
+  f.direction = GetEnum<scenario::Direction>(r, 1, ok);
+  f.transport = GetEnum<scenario::Transport>(r, 1, ok);
+  f.model = GetEnum<scenario::TrafficModel>(r, 3, ok);
+  f.task_bytes = r.I64();
+  f.task_count = r.I32();
+  f.task_gap = r.I64();
+  f.onoff.mean_flow_bytes = r.F64();
+  f.onoff.pareto_alpha = r.F64();
+  f.onoff.mean_think_sec = r.F64();
+  const uint32_t tasks = r.Count(kMaxTasks);
+  f.replay.reserve(tasks);
+  for (uint32_t i = 0; i < tasks && r.ok(); ++i) {
+    trace::ReplayTask task;
+    task.at = r.I64();
+    task.bytes = r.I64();
+    f.replay.push_back(task);
+  }
+  f.app_limit_bps = r.I64();
+  f.udp_rate = r.I64();
+  f.packet_bytes = r.I32();
+  f.start = r.I64();
+  return f;
+}
+
+void PutConfig(ByteWriter& w, const scenario::ScenarioConfig& c) {
+  PutEnum(w, c.qdisc);
+  PutTbr(w, c.tbr);
+  w.U64(c.fifo_limit);
+  w.U64(c.per_queue_limit);
+  PutTimings(w, c.timings);
+  w.U64(c.seed);
+  w.I64(c.wired_rate);
+  w.I64(c.wired_delay);
+  w.I64(c.warmup);
+  w.I64(c.duration);
+}
+
+scenario::ScenarioConfig GetConfig(ByteReader& r, bool* ok) {
+  scenario::ScenarioConfig c;
+  c.qdisc = GetEnum<scenario::QdiscKind>(r, 4, ok);
+  c.tbr = GetTbr(r);
+  c.fifo_limit = static_cast<size_t>(r.U64());
+  c.per_queue_limit = static_cast<size_t>(r.U64());
+  c.timings = GetTimings(r);
+  c.seed = r.U64();
+  c.wired_rate = r.I64();
+  c.wired_delay = r.I64();
+  c.warmup = r.I64();
+  c.duration = r.I64();
+  return c;
+}
+
+// ---------------------------------------------------------------------------
+// Results codecs.
+// ---------------------------------------------------------------------------
+
+void PutSummary(ByteWriter& w, const scenario::LatencySummary& s) {
+  w.I64(s.count);
+  w.I64(s.p50);
+  w.I64(s.p95);
+  w.I64(s.p99);
+}
+
+scenario::LatencySummary GetSummary(ByteReader& r) {
+  scenario::LatencySummary s;
+  s.count = r.I64();
+  s.p50 = r.I64();
+  s.p95 = r.I64();
+  s.p99 = r.I64();
+  return s;
+}
+
+void PutSketch(ByteWriter& w, const stats::QuantileSketch& sketch) {
+  sketch.SerializeTo(&w.str());
+}
+
+bool GetSketch(ByteReader& r, stats::QuantileSketch* out) {
+  // The sketch parses from the reader's current position; splice its cursor back.
+  size_t pos = 0;
+  if (!r.ok() || !stats::QuantileSketch::DeserializeFrom(r.remaining(), &pos, out)) {
+    return false;
+  }
+  r.Advance(pos);
+  return true;
+}
+
+void PutNodeDoubleMap(ByteWriter& w, const std::map<NodeId, double>& m) {
+  w.U32(static_cast<uint32_t>(m.size()));
+  for (const auto& [node, value] : m) {  // std::map iterates sorted: deterministic.
+    w.I32(node);
+    w.F64(value);
+  }
+}
+
+bool GetNodeDoubleMap(ByteReader& r, std::map<NodeId, double>* out) {
+  const uint32_t n = r.Count(kMaxStations);
+  NodeId prev = kInvalidNodeId;
+  for (uint32_t i = 0; i < n && r.ok(); ++i) {
+    const NodeId node = r.I32();
+    const double value = r.F64();
+    if (i > 0 && node <= prev) {
+      return false;  // Must be strictly ascending (canonical map order).
+    }
+    prev = node;
+    (*out)[node] = value;
+  }
+  return r.ok();
+}
+
+void PutTimes(ByteWriter& w, const std::vector<TimeNs>& v) {
+  w.U32(static_cast<uint32_t>(v.size()));
+  for (TimeNs t : v) {
+    w.I64(t);
+  }
+}
+
+bool GetTimes(ByteReader& r, std::vector<TimeNs>* out) {
+  const uint32_t n = r.Count(kMaxTasks);
+  out->reserve(n);
+  for (uint32_t i = 0; i < n && r.ok(); ++i) {
+    out->push_back(r.I64());
+  }
+  return r.ok();
+}
+
+void PutFlowResult(ByteWriter& w, const scenario::FlowResult& f) {
+  w.I32(f.flow_id);
+  w.I32(f.client);
+  w.Bool(f.tcp);
+  w.I64(f.bytes_delivered);
+  w.F64(f.goodput_bps);
+  w.I64(f.completion_time);
+  PutTimes(w, f.task_completions);
+  PutTimes(w, f.task_durations);
+  w.I64(f.retransmits);
+  w.I64(f.timeouts);
+  PutSummary(w, f.rtt);
+  PutSummary(w, f.queue_delay);
+  PutSummary(w, f.task_latency);
+}
+
+bool GetFlowResult(ByteReader& r, scenario::FlowResult* f) {
+  f->flow_id = r.I32();
+  f->client = r.I32();
+  f->tcp = r.Bool();
+  f->bytes_delivered = r.I64();
+  f->goodput_bps = r.F64();
+  f->completion_time = r.I64();
+  if (!GetTimes(r, &f->task_completions) || !GetTimes(r, &f->task_durations)) {
+    return false;
+  }
+  f->retransmits = r.I64();
+  f->timeouts = r.I64();
+  f->rtt = GetSummary(r);
+  f->queue_delay = GetSummary(r);
+  f->task_latency = GetSummary(r);
+  return r.ok();
+}
+
+}  // namespace
+
+uint32_t Crc32(std::string_view data) {
+  static const auto table = [] {
+    std::array<uint32_t, 256> t{};
+    for (uint32_t i = 0; i < 256; ++i) {
+      uint32_t c = i;
+      for (int k = 0; k < 8; ++k) {
+        c = (c & 1) ? 0xedb88320u ^ (c >> 1) : c >> 1;
+      }
+      t[i] = c;
+    }
+    return t;
+  }();
+  uint32_t crc = 0xffffffffu;
+  for (const char ch : data) {
+    crc = table[(crc ^ static_cast<unsigned char>(ch)) & 0xffu] ^ (crc >> 8);
+  }
+  return crc ^ 0xffffffffu;
+}
+
+std::string HexEncode(std::string_view bytes) {
+  static constexpr char kDigits[] = "0123456789abcdef";
+  std::string out;
+  out.reserve(bytes.size() * 2);
+  for (const char ch : bytes) {
+    const auto b = static_cast<unsigned char>(ch);
+    out.push_back(kDigits[b >> 4]);
+    out.push_back(kDigits[b & 0xf]);
+  }
+  return out;
+}
+
+bool HexDecode(std::string_view hex, std::string* out) {
+  if (hex.size() % 2 != 0) {
+    return false;
+  }
+  auto nibble = [](char c) -> int {
+    if (c >= '0' && c <= '9') {
+      return c - '0';
+    }
+    if (c >= 'a' && c <= 'f') {
+      return c - 'a' + 10;
+    }
+    return -1;
+  };
+  out->clear();
+  out->reserve(hex.size() / 2);
+  for (size_t i = 0; i < hex.size(); i += 2) {
+    const int hi = nibble(hex[i]);
+    const int lo = nibble(hex[i + 1]);
+    if (hi < 0 || lo < 0) {
+      return false;
+    }
+    out->push_back(static_cast<char>((hi << 4) | lo));
+  }
+  return true;
+}
+
+std::string EncodeJob(const CampaignJob& job) {
+  ByteWriter w;
+  w.U32(kJobMagic);
+  PutConfig(w, job.config);
+  w.U32(static_cast<uint32_t>(job.stations.size()));
+  for (const scenario::StationSpec& s : job.stations) {
+    PutStation(w, s);
+  }
+  w.U32(static_cast<uint32_t>(job.flows.size()));
+  for (const scenario::FlowSpec& f : job.flows) {
+    PutFlow(w, f);
+  }
+  return w.Take();
+}
+
+bool DecodeJob(std::string_view data, CampaignJob* out) {
+  ByteReader r(data);
+  bool ok = true;
+  if (r.U32() != kJobMagic) {
+    return false;
+  }
+  CampaignJob job;
+  job.config = GetConfig(r, &ok);
+  const uint32_t stations = r.Count(kMaxStations);
+  job.stations.reserve(stations);
+  for (uint32_t i = 0; i < stations && r.ok() && ok; ++i) {
+    job.stations.push_back(GetStation(r, &ok));
+  }
+  const uint32_t flows = r.Count(kMaxFlows);
+  job.flows.reserve(flows);
+  for (uint32_t i = 0; i < flows && r.ok() && ok; ++i) {
+    job.flows.push_back(GetFlow(r, &ok));
+  }
+  if (!ok || !r.AtEnd()) {
+    return false;
+  }
+  *out = std::move(job);
+  return true;
+}
+
+std::string EncodeResults(const scenario::Results& results) {
+  ByteWriter w;
+  w.U32(kResultsMagic);
+  PutNodeDoubleMap(w, results.goodput_bps);
+  PutNodeDoubleMap(w, results.airtime_share);
+  w.F64(results.aggregate_bps);
+  w.F64(results.utilization);
+  w.U32(static_cast<uint32_t>(results.flows.size()));
+  for (const scenario::FlowResult& f : results.flows) {
+    PutFlowResult(w, f);
+  }
+  w.F64(results.avg_task_time_sec);
+  w.F64(results.final_task_time_sec);
+  w.I64(results.tasks_completed);
+  w.I64(results.mac_collisions);
+  w.I64(results.mac_exchanges);
+  w.I64(results.ap_drops);
+  PutSummary(w, results.rtt);
+  PutSummary(w, results.ap_queue_delay);
+  PutSummary(w, results.task_latency);
+  PutSketch(w, results.rtt_sketch);
+  PutSketch(w, results.ap_queue_delay_sketch);
+  PutSketch(w, results.task_latency_sketch);
+  return w.Take();
+}
+
+bool DecodeResults(std::string_view data, scenario::Results* out) {
+  ByteReader r(data);
+  if (r.U32() != kResultsMagic) {
+    return false;
+  }
+  scenario::Results results;
+  if (!GetNodeDoubleMap(r, &results.goodput_bps) ||
+      !GetNodeDoubleMap(r, &results.airtime_share)) {
+    return false;
+  }
+  results.aggregate_bps = r.F64();
+  results.utilization = r.F64();
+  const uint32_t flows = r.Count(kMaxFlows);
+  results.flows.reserve(flows);
+  for (uint32_t i = 0; i < flows && r.ok(); ++i) {
+    scenario::FlowResult f;
+    if (!GetFlowResult(r, &f)) {
+      return false;
+    }
+    results.flows.push_back(std::move(f));
+  }
+  results.avg_task_time_sec = r.F64();
+  results.final_task_time_sec = r.F64();
+  results.tasks_completed = r.I64();
+  results.mac_collisions = r.I64();
+  results.mac_exchanges = r.I64();
+  results.ap_drops = r.I64();
+  results.rtt = GetSummary(r);
+  results.ap_queue_delay = GetSummary(r);
+  results.task_latency = GetSummary(r);
+  if (!r.ok() || !GetSketch(r, &results.rtt_sketch) ||
+      !GetSketch(r, &results.ap_queue_delay_sketch) ||
+      !GetSketch(r, &results.task_latency_sketch) || !r.AtEnd()) {
+    return false;
+  }
+  *out = std::move(results);
+  return true;
+}
+
+MergedSummary MergeResults(const std::vector<scenario::Results>& results) {
+  MergedSummary merged;
+  merged.jobs = static_cast<int64_t>(results.size());
+  for (const scenario::Results& r : results) {  // Manifest order: deterministic.
+    merged.tasks_completed += r.tasks_completed;
+    merged.mac_exchanges += r.mac_exchanges;
+    merged.aggregate_bps_sum += r.aggregate_bps;
+    merged.rtt.Merge(r.rtt_sketch);
+    merged.ap_queue_delay.Merge(r.ap_queue_delay_sketch);
+    merged.task_latency.Merge(r.task_latency_sketch);
+  }
+  return merged;
+}
+
+namespace {
+
+void PutMerged(ByteWriter& w, const MergedSummary& m) {
+  w.I64(m.jobs);
+  w.I64(m.tasks_completed);
+  w.I64(m.mac_exchanges);
+  w.F64(m.aggregate_bps_sum);
+  PutSketch(w, m.rtt);
+  PutSketch(w, m.ap_queue_delay);
+  PutSketch(w, m.task_latency);
+}
+
+bool GetMerged(ByteReader& r, MergedSummary* m) {
+  m->jobs = r.I64();
+  m->tasks_completed = r.I64();
+  m->mac_exchanges = r.I64();
+  m->aggregate_bps_sum = r.F64();
+  return r.ok() && GetSketch(r, &m->rtt) && GetSketch(r, &m->ap_queue_delay) &&
+         GetSketch(r, &m->task_latency);
+}
+
+}  // namespace
+
+std::string EncodeArchive(const std::vector<std::string>& result_blobs) {
+  std::vector<scenario::Results> decoded;
+  decoded.reserve(result_blobs.size());
+  for (const std::string& blob : result_blobs) {
+    scenario::Results r;
+    TBF_CHECK(DecodeResults(blob, &r)) << "archive built from an invalid Results blob";
+    decoded.push_back(std::move(r));
+  }
+  ByteWriter w;
+  w.U32(kArchiveMagic);
+  w.U32(1);  // Version.
+  w.U32(static_cast<uint32_t>(result_blobs.size()));
+  for (const std::string& blob : result_blobs) {
+    w.U32(static_cast<uint32_t>(blob.size()));
+    w.U32(Crc32(blob));
+    w.str() += blob;
+  }
+  PutMerged(w, MergeResults(decoded));
+  return w.Take();
+}
+
+namespace {
+
+bool DecodeArchiveInternal(std::string_view data, std::vector<scenario::Results>* out,
+                           MergedSummary* summary) {
+  ByteReader r(data);
+  if (r.U32() != kArchiveMagic || r.U32() != 1) {
+    return false;
+  }
+  const uint32_t jobs = r.Count(kMaxArchiveJobs);
+  std::vector<scenario::Results> results;
+  results.reserve(jobs);
+  for (uint32_t i = 0; i < jobs && r.ok(); ++i) {
+    const uint32_t len = r.U32();
+    const uint32_t crc = r.U32();
+    if (!r.ok() || r.remaining().size() < len) {
+      return false;
+    }
+    const std::string_view blob = r.remaining().substr(0, len);
+    if (Crc32(blob) != crc) {
+      return false;
+    }
+    scenario::Results decoded;
+    if (!DecodeResults(blob, &decoded)) {
+      return false;
+    }
+    results.push_back(std::move(decoded));
+    r.Advance(len);
+  }
+  MergedSummary merged;
+  if (!GetMerged(r, &merged) || !r.AtEnd()) {
+    return false;
+  }
+  if (merged != MergeResults(results)) {
+    return false;  // Trailer must agree with the blobs it summarizes.
+  }
+  if (out != nullptr) {
+    *out = std::move(results);
+  }
+  if (summary != nullptr) {
+    *summary = std::move(merged);
+  }
+  return true;
+}
+
+}  // namespace
+
+bool DecodeArchive(std::string_view data, std::vector<scenario::Results>* out) {
+  return DecodeArchiveInternal(data, out, nullptr);
+}
+
+bool DecodeArchiveSummary(std::string_view data, MergedSummary* out) {
+  return DecodeArchiveInternal(data, nullptr, out);
+}
+
+}  // namespace tbf::campaign

@@ -1,0 +1,71 @@
+// Binary wire/archive codec for campaign jobs and Results.
+//
+// The campaign protocol ships two payload kinds: job specs (coordinator -> worker) and
+// Results (worker -> coordinator). Both use the same conventions:
+//
+//  - little-endian fixed-width integers; doubles travel as IEEE-754 bit patterns, so
+//    decoding reconstructs *bitwise identical* values (the whole campaign acceptance
+//    bar - merged distributed output byte-identical to a serial run - hangs on this);
+//  - containers as u32 count + elements; enums as u32 with range checks on decode;
+//  - quantile sketches via stats::QuantileSketch::SerializeTo/DeserializeFrom;
+//  - every Decode* is a total function over arbitrary bytes: truncated, oversized, or
+//    out-of-range input returns false, never UB - remote payloads are untrusted.
+//
+// Payload integrity on the wire is the transport envelope's job (length + CRC32 in
+// wire.h); the decoders here are the schema check behind it. An archive is the
+// campaign's canonical merged output: per-job Results blobs in manifest order plus a
+// merged trailer (pooled sketches + totals), so `cmp` on two archives is the
+// byte-identity acceptance test.
+#ifndef TBF_CAMPAIGN_CODEC_H_
+#define TBF_CAMPAIGN_CODEC_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "tbf/campaign/manifest.h"
+#include "tbf/scenario/results.h"
+
+namespace tbf::campaign {
+
+// CRC-32 (IEEE 802.3 polynomial) of `data`.
+uint32_t Crc32(std::string_view data);
+
+// Lowercase hex <-> bytes. HexDecode returns false on odd length or non-hex digits.
+std::string HexEncode(std::string_view bytes);
+bool HexDecode(std::string_view hex, std::string* out);
+
+std::string EncodeJob(const CampaignJob& job);
+bool DecodeJob(std::string_view data, CampaignJob* out);
+
+std::string EncodeResults(const scenario::Results& results);
+bool DecodeResults(std::string_view data, scenario::Results* out);
+
+// Archive = magic + per-job Results blobs (manifest order, each length+CRC framed) + a
+// merged trailer with the cross-job pooled sketches and totals. `result_blobs[i]` must
+// be EncodeResults output for job i; the trailer is recomputed from the blobs, so two
+// archives built from equal blob sequences are byte-identical however the blobs were
+// produced (serial in-process, distributed, or resumed).
+std::string EncodeArchive(const std::vector<std::string>& result_blobs);
+bool DecodeArchive(std::string_view data, std::vector<scenario::Results>* out);
+
+// The merged trailer, recomputed identically by every path that builds an archive.
+struct MergedSummary {
+  int64_t jobs = 0;
+  int64_t tasks_completed = 0;
+  int64_t mac_exchanges = 0;
+  double aggregate_bps_sum = 0.0;
+  stats::QuantileSketch rtt;
+  stats::QuantileSketch ap_queue_delay;
+  stats::QuantileSketch task_latency;
+
+  friend bool operator==(const MergedSummary&, const MergedSummary&) = default;
+};
+
+MergedSummary MergeResults(const std::vector<scenario::Results>& results);
+bool DecodeArchiveSummary(std::string_view data, MergedSummary* out);
+
+}  // namespace tbf::campaign
+
+#endif  // TBF_CAMPAIGN_CODEC_H_

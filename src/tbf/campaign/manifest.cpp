@@ -1,0 +1,81 @@
+#include "tbf/campaign/manifest.h"
+
+#include "tbf/campaign/codec.h"
+
+namespace tbf::campaign {
+
+sweep::ScenarioJob ToScenarioJob(const CampaignJob& job) {
+  sweep::ScenarioJob out;
+  out.config = job.config;
+  out.stations = job.stations;
+  out.flows = job.flows;
+  return out;
+}
+
+std::string ValidateManifest(const Manifest& manifest) {
+  if (manifest.jobs.empty()) {
+    return "manifest has no jobs";
+  }
+  for (size_t i = 0; i < manifest.jobs.size(); ++i) {
+    const CampaignJob& job = manifest.jobs[i];
+    if (std::string err = scenario::ValidateScenario(job.config, job.stations, job.flows);
+        !err.empty()) {
+      return "job #" + std::to_string(i) + ": " + err;
+    }
+  }
+  return std::string();
+}
+
+uint32_t ManifestFingerprint(const Manifest& manifest) {
+  std::string all;
+  for (const CampaignJob& job : manifest.jobs) {
+    all += EncodeJob(job);
+  }
+  return Crc32(all);
+}
+
+Manifest MakeSmokeGrid(const SmokeGridSpec& spec) {
+  using scenario::Direction;
+  using scenario::QdiscKind;
+  using scenario::Transport;
+
+  constexpr QdiscKind kQdiscs[] = {QdiscKind::kFifo, QdiscKind::kTbr,
+                                   QdiscKind::kRoundRobin, QdiscKind::kDrr};
+  constexpr phy::WifiRate kRates[] = {phy::WifiRate::k11Mbps, phy::WifiRate::k1Mbps,
+                                      phy::WifiRate::k5_5Mbps, phy::WifiRate::k2Mbps};
+
+  Manifest manifest;
+  manifest.jobs.reserve(static_cast<size_t>(spec.jobs));
+  for (int i = 0; i < spec.jobs; ++i) {
+    CampaignJob job;
+    job.config.qdisc = kQdiscs[i % 4];
+    job.config.seed = spec.seed + static_cast<uint64_t>(i);
+    job.config.warmup = spec.warmup;
+    job.config.duration = spec.duration;
+
+    const int station_count = 1 + (i / 4) % 3;
+    for (int s = 0; s < station_count; ++s) {
+      scenario::StationSpec station;
+      station.id = s + 1;
+      station.rate = kRates[(i + s) % 4];
+      job.stations.push_back(station);
+
+      scenario::FlowSpec flow;
+      flow.client = station.id;
+      flow.direction = (i / 2) % 2 == 0 ? Direction::kDownlink : Direction::kUplink;
+      // Mostly CBR UDP (cheap), with a TCP flow every fifth job for transport
+      // diversity; rate modest so tiny windows still see steady-state traffic.
+      if (i % 5 == 0) {
+        flow.transport = Transport::kTcp;
+      } else {
+        flow.transport = Transport::kUdp;
+        flow.udp_rate = Mbps(2);
+      }
+      job.flows.push_back(flow);
+    }
+    manifest.jobs.push_back(std::move(job));
+  }
+  return manifest;
+}
+
+}  // namespace tbf::campaign

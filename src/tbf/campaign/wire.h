@@ -1,0 +1,99 @@
+// Line-delimited JSON wire protocol for the campaign service.
+//
+// One message per line, one JSON object per message, flat keys only. Binary payloads
+// (job specs, Results blobs - campaign/codec.h) ride inside messages as lowercase hex
+// in "data", always accompanied by "len" (raw byte count) and "crc" (CRC32 of the raw
+// bytes). A receiver accepts a payload only when the hex decodes, the length matches,
+// and the CRC matches - then hands the bytes to the schema decoder. Anything less is a
+// protocol violation: the message is rejected and the sender treated as faulty.
+//
+//   worker -> coordinator                  coordinator -> worker
+//   {"type":"hello","protocol":1,          {"type":"job","job":i,"len":..,
+//    "name":"w1"}                            "crc":..,"data":"<hex>"}
+//   {"type":"request"}                     {"type":"wait","ms":50}
+//   {"type":"heartbeat","job":i}           {"type":"shutdown"}
+//   {"type":"result","job":i,"len":..,
+//    "crc":..,"data":"<hex>"}
+//   {"type":"error","job":i,"error":".."}
+//
+// The parser here is deliberately minimal and strict: flat objects, string keys,
+// integer or string values, the exact escape set the writer emits. A malformed line
+// never throws and never partially applies - ParseMessage returns false and the
+// connection owner decides (the coordinator drops the peer; a worker reconnects).
+#ifndef TBF_CAMPAIGN_WIRE_H_
+#define TBF_CAMPAIGN_WIRE_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace tbf::campaign {
+
+inline constexpr int kProtocolVersion = 1;
+// A line larger than this is a protocol violation (the largest legitimate payloads -
+// hex-encoded Results blobs - sit far below it).
+inline constexpr size_t kMaxLineBytes = 64u << 20;
+
+struct Message {
+  std::string type;        // Required.
+  int64_t job = -1;        // Job index; -1 = absent.
+  int64_t len = -1;        // Raw payload byte count; -1 = absent.
+  int64_t crc = -1;        // CRC32 of the raw payload; -1 = absent.
+  int64_t protocol = -1;   // hello.
+  int64_t ms = -1;         // wait.
+  std::string data;        // Hex payload.
+  std::string name;        // Worker name (hello).
+  std::string error;       // Worker-side job failure diagnostic.
+
+  friend bool operator==(const Message&, const Message&) = default;
+};
+
+// Emits the message as one JSON line (no trailing newline). Only set fields appear,
+// in a fixed key order, so equal messages serialize identically.
+std::string FormatMessage(const Message& message);
+
+// Strict parse of one line. Returns false on any malformed input; *out is only
+// written on success. Unknown keys are rejected (there is exactly one writer).
+bool ParseMessage(std::string_view line, Message* out);
+
+// ---------------------------------------------------------------------------
+// Socket plumbing (local/unix sockets; the protocol itself is transport-agnostic).
+// ---------------------------------------------------------------------------
+
+// Creates, binds, and listens on a unix-domain socket, unlinking any stale file at
+// `path` first. Returns the nonblocking listening fd, or -1 (diagnostic in *error).
+int ListenUnix(const std::string& path, std::string* error);
+
+// Blocking connect to `path`. Returns the fd or -1.
+int ConnectUnix(const std::string& path);
+
+// poll() for readability. Returns true when `fd` is readable (or closed - the read
+// will observe EOF), false on timeout.
+bool WaitReadable(int fd, int timeout_ms);
+
+// Writes `line` plus '\n', looping over partial writes, suppressing SIGPIPE.
+// Returns false on any error (peer gone).
+bool SendLine(int fd, std::string_view line);
+
+// Incremental line assembly over a byte stream: feed whatever bytes are available,
+// pop complete lines. Tracks protocol violations (overlong lines) and EOF.
+class LineReader {
+ public:
+  // Drains currently-available bytes from a readable fd into the buffer.
+  // Returns false when the peer closed or errored (buffered lines stay poppable).
+  bool Drain(int fd);
+
+  // Pops the next complete line (without the '\n') into *line.
+  bool NextLine(std::string* line);
+
+  bool overlong() const { return overlong_; }
+
+ private:
+  std::string buffer_;
+  size_t scan_from_ = 0;
+  bool overlong_ = false;
+};
+
+}  // namespace tbf::campaign
+
+#endif  // TBF_CAMPAIGN_WIRE_H_

@@ -77,6 +77,9 @@ struct TbrConfig {
 
   // Optional explicit client cooperation (paper 4.1) for uplink UDP.
   bool client_agent = false;
+
+  // Plain data: campaign jobs ship TbrConfig over the wire and compare round-trips.
+  friend bool operator==(const TbrConfig&, const TbrConfig&) = default;
 };
 
 class TimeBasedRegulator : public ap::Qdisc {

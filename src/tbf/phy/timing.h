@@ -23,6 +23,8 @@ struct MacTimings {
   TimeNs Difs() const { return sifs + 2 * slot; }
   // EIFS = SIFS + ACK at the most robust mandatory rate + DIFS.
   TimeNs Eifs() const;
+
+  friend bool operator==(const MacTimings&, const MacTimings&) = default;
 };
 
 // The 802.11b-compatible profile (also used for mixed b/g cells).

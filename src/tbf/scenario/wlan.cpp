@@ -83,8 +83,7 @@ StationSpec& Wlan::AddStation(NodeId id, phy::WifiRate rate, double per) {
 
 StationSpec& Wlan::AddStation(StationSpec spec) {
   TBF_CHECK(!built_) << "AddStation after Run";
-  TBF_CHECK(spec.id > 0 && spec.id < kServerId) << "client ids must be in (0, kServerId)";
-  station_specs_.push_back(spec);
+  station_specs_.push_back(spec);  // Id bounds etc. are checked by ValidateScenario.
   return station_specs_.back();
 }
 
@@ -146,6 +145,149 @@ FlowSpec& Wlan::AddTraceReplay(const trace::ReplayFlow& flow, Transport transpor
   return AddFlow(MakeTraceReplaySpec(flow, transport));
 }
 
+namespace {
+
+// Appends printf-free formatted context for one flow's diagnostic.
+std::string FlowTag(size_t index, const FlowSpec& spec) {
+  return "flow #" + std::to_string(index) + " (client " + std::to_string(spec.client) + ")";
+}
+
+}  // namespace
+
+std::string ValidateScenario(const ScenarioConfig& config,
+                             const std::vector<StationSpec>& stations,
+                             const std::vector<FlowSpec>& flows) {
+  if (config.duration <= 0) {
+    return "config: duration must be > 0";
+  }
+  if (config.warmup < 0) {
+    return "config: warmup must be >= 0";
+  }
+  if (config.wired_rate <= 0) {
+    return "config: wired_rate must be > 0";
+  }
+  if (config.wired_delay < 0) {
+    return "config: wired_delay must be >= 0";
+  }
+  if (config.fifo_limit == 0) {
+    return "config: fifo_limit must be > 0";
+  }
+  if (config.per_queue_limit == 0) {
+    return "config: per_queue_limit must be > 0";
+  }
+  if (config.timings.slot <= 0 || config.timings.sifs < 0) {
+    return "config: MAC timings need slot > 0 and sifs >= 0";
+  }
+  if (config.timings.cw_min < 1 || config.timings.cw_max < config.timings.cw_min) {
+    return "config: contention window needs 1 <= cw_min <= cw_max";
+  }
+  if (config.timings.retry_limit < 1) {
+    return "config: retry_limit must be >= 1";
+  }
+  if (config.qdisc == QdiscKind::kTbr) {
+    const core::TbrConfig& tbr = config.tbr;
+    if (tbr.fill_period <= 0 || tbr.bucket_depth <= 0 || tbr.initial_tokens < 0) {
+      return "config: TBR needs fill_period > 0, bucket_depth > 0, initial_tokens >= 0";
+    }
+    if (tbr.enable_rate_adjust &&
+        (tbr.adjust_period <= 0 || tbr.adjust_threshold <= 0.0 || tbr.min_rate <= 0.0)) {
+      return "config: TBR rate adjust needs adjust_period > 0, adjust_threshold > 0, "
+             "min_rate > 0";
+    }
+    if (tbr.per_queue_limit == 0) {
+      return "config: TBR per_queue_limit must be > 0";
+    }
+  }
+
+  if (stations.size() >= static_cast<size_t>(kServerId)) {
+    return "stations: at most " + std::to_string(kServerId - 1) + " clients fit below "
+           "kServerId";
+  }
+  std::vector<NodeId> seen;
+  seen.reserve(stations.size());
+  for (size_t i = 0; i < stations.size(); ++i) {
+    const StationSpec& s = stations[i];
+    const std::string tag = "station #" + std::to_string(i) + " (id " +
+                            std::to_string(s.id) + ")";
+    if (s.id <= 0 || s.id >= kServerId) {
+      return tag + ": client ids must be in (0, " + std::to_string(kServerId) + ")";
+    }
+    if (std::find(seen.begin(), seen.end(), s.id) != seen.end()) {
+      return tag + ": duplicate station id";
+    }
+    seen.push_back(s.id);
+    if (!(s.per >= 0.0 && s.per <= 1.0)) {  // NaN fails the conjunction.
+      return tag + ": per must be in [0, 1]";
+    }
+    if (s.snr_db < 0.0) {
+      return tag + ": snr_db must be >= 0 (0 disables the SNR model)";
+    }
+    if (s.queue_limit == 0) {
+      return tag + ": queue_limit must be > 0";
+    }
+  }
+
+  for (size_t i = 0; i < flows.size(); ++i) {
+    const FlowSpec& f = flows[i];
+    if (std::find(seen.begin(), seen.end(), f.client) == seen.end()) {
+      return FlowTag(i, f) + ": references an undeclared station";
+    }
+    const int header = f.transport == Transport::kTcp ? net::kIpTcpHeaderBytes
+                                                      : net::kIpUdpHeaderBytes;
+    if (f.packet_bytes <= header) {
+      return FlowTag(i, f) + ": packet_bytes must exceed the " +
+             std::to_string(header) + "-byte transport header";
+    }
+    if (f.transport == Transport::kUdp && f.udp_rate <= 0) {
+      return FlowTag(i, f) + ": UDP flows need udp_rate > 0";
+    }
+    if (f.app_limit_bps < 0) {
+      return FlowTag(i, f) + ": app_limit_bps must be >= 0";
+    }
+    if (f.start < 0) {
+      return FlowTag(i, f) + ": start must be >= 0";
+    }
+    switch (f.model) {
+      case TrafficModel::kBulk:
+        if (f.task_bytes < 0) {
+          return FlowTag(i, f) + ": task_bytes must be >= 0 (0 = unbounded)";
+        }
+        break;
+      case TrafficModel::kTaskSequence:
+        if (f.task_bytes <= 0 || f.task_count <= 0) {
+          return FlowTag(i, f) + ": task sequences need task_bytes > 0 and "
+                 "task_count > 0";
+        }
+        if (f.task_gap < 0) {
+          return FlowTag(i, f) + ": task_gap must be >= 0";
+        }
+        break;
+      case TrafficModel::kOnOffWeb:
+        if (f.onoff.mean_flow_bytes < 1.0 || f.onoff.pareto_alpha <= 1.0 ||
+            f.onoff.mean_think_sec < 0.0) {
+          return FlowTag(i, f) + ": on/off sources need mean_flow_bytes >= 1, "
+                 "pareto_alpha > 1, mean_think_sec >= 0";
+        }
+        break;
+      case TrafficModel::kTraceReplay:
+        if (f.replay.empty()) {
+          return FlowTag(i, f) + ": trace replay flows need logged tasks";
+        }
+        for (size_t t = 0; t < f.replay.size(); ++t) {
+          if (f.replay[t].bytes <= 0) {
+            return FlowTag(i, f) + ": replay task #" + std::to_string(t) +
+                   " must carry bytes";
+          }
+          if (t > 0 && f.replay[t].at < f.replay[t - 1].at) {
+            return FlowTag(i, f) + ": replay tasks must be in trace order";
+          }
+        }
+        break;
+    }
+  }
+  return std::string();
+}
+
 std::unique_ptr<ap::Qdisc> Wlan::MakeQdisc() {
   switch (config_.qdisc) {
     case QdiscKind::kFifo:
@@ -173,6 +315,10 @@ std::unique_ptr<ap::Qdisc> Wlan::MakeQdisc() {
 
 void Wlan::Build() {
   TBF_CHECK(!built_);
+  if (std::string err = ValidateScenario(config_, station_specs_, flow_specs_);
+      !err.empty()) {
+    throw ScenarioError("invalid scenario: " + err);
+  }
   built_ = true;
 
   rng_ = std::make_unique<sim::Rng>(config_.seed);
@@ -270,18 +416,12 @@ void Wlan::Build() {
         first_task = spec.task_bytes;
         break;
       case TrafficModel::kTaskSequence:
-        TBF_CHECK(spec.task_bytes > 0 && spec.task_count > 0)
-            << "task sequences need a per-task size and a count";
-        first_task = spec.task_bytes;
+        first_task = spec.task_bytes;  // ValidateScenario pinned size and count > 0.
         break;
       case TrafficModel::kOnOffWeb:
         first_task = spec.onoff.DrawFlowBytes(*rng_);
         break;
       case TrafficModel::kTraceReplay:
-        TBF_CHECK(!spec.replay.empty()) << "trace replay flows need logged tasks";
-        for (const trace::ReplayTask& task : spec.replay) {
-          TBF_CHECK(task.bytes > 0) << "trace replay tasks must carry bytes";
-        }
         first_task = spec.replay.front().bytes;
         flow_start += spec.replay.front().at;
         break;

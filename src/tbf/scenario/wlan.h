@@ -10,6 +10,8 @@
 
 #include <map>
 #include <memory>
+#include <stdexcept>
+#include <string>
 #include <vector>
 
 #include "tbf/ap/access_point.h"
@@ -57,6 +59,8 @@ struct StationSpec {
   // rung. `rate` is then just the starting rate (use phy::RateForSnr for consistency).
   double snr_db = 0.0;
   size_t queue_limit = 50;
+
+  friend bool operator==(const StationSpec&, const StationSpec&) = default;
 };
 
 struct FlowSpec {
@@ -76,6 +80,8 @@ struct FlowSpec {
   BitRate udp_rate = Mbps(8);   // CBR rate for UDP sources.
   int packet_bytes = 1500;      // IP datagram size.
   TimeNs start = 0;
+
+  friend bool operator==(const FlowSpec&, const FlowSpec&) = default;
 };
 
 // Converts a recovered trace flow into a kTraceReplay FlowSpec - the one place the
@@ -83,6 +89,16 @@ struct FlowSpec {
 // declarative ScenarioJob builders in benches/examples.
 FlowSpec MakeTraceReplaySpec(const trace::ReplayFlow& flow,
                              Transport transport = Transport::kTcp);
+
+// Thrown by Wlan::Build (and hence Run) when the declared scenario is invalid. A
+// misconfigured job fails fast with a diagnostic instead of producing undefined
+// downstream behavior (divide-by-zero rates, unbounded loops, out-of-range node ids);
+// sweep::SweepRunner propagates it with the failing job's identity and the campaign
+// layer rejects the manifest before dispatching anything.
+class ScenarioError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
 
 struct ScenarioConfig {
   QdiscKind qdisc = QdiscKind::kFifo;
@@ -95,7 +111,19 @@ struct ScenarioConfig {
   TimeNs wired_delay = Us(500);
   TimeNs warmup = Sec(2);       // Stats ignore this prefix.
   TimeNs duration = Sec(30);    // Measurement window length.
+
+  friend bool operator==(const ScenarioConfig&, const ScenarioConfig&) = default;
 };
+
+// Validates a full scenario declaration up front: config ranges (nonzero rates and
+// durations, MAC timing sanity), station bounds (ids in (0, kServerId), unique, PER in
+// [0,1], nonzero queues), and per-flow requirements (declared station, packet size
+// larger than its transport header, task_bytes > 0 where a finite task is implied,
+// positive on/off distribution parameters, non-empty sorted replay logs). Returns an
+// empty string when valid, else a one-line diagnostic naming the offending entry.
+std::string ValidateScenario(const ScenarioConfig& config,
+                             const std::vector<StationSpec>& stations,
+                             const std::vector<FlowSpec>& flows);
 
 class Wlan {
  public:

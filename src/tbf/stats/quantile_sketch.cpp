@@ -1,11 +1,62 @@
 #include "tbf/stats/quantile_sketch.h"
 
 #include <algorithm>
+#include <bit>
 #include <cmath>
+#include <cstring>
 
 #include "tbf/util/logging.h"
 
 namespace tbf::stats {
+namespace {
+
+// Little-endian primitive append/read helpers. Doubles travel as their IEEE-754 bit
+// patterns, so round-trips are exact and the deserialized sketch is bitwise equal.
+void AppendU64(std::string* out, uint64_t v) {
+  char b[8];
+  for (int i = 0; i < 8; ++i) {
+    b[i] = static_cast<char>((v >> (8 * i)) & 0xff);
+  }
+  out->append(b, 8);
+}
+
+void AppendU32(std::string* out, uint32_t v) {
+  char b[4];
+  for (int i = 0; i < 4; ++i) {
+    b[i] = static_cast<char>((v >> (8 * i)) & 0xff);
+  }
+  out->append(b, 4);
+}
+
+bool ReadU64(std::string_view data, size_t* pos, uint64_t* v) {
+  if (data.size() - *pos < 8) {
+    return false;
+  }
+  uint64_t out = 0;
+  for (int i = 0; i < 8; ++i) {
+    out |= static_cast<uint64_t>(static_cast<unsigned char>(data[*pos + i])) << (8 * i);
+  }
+  *pos += 8;
+  *v = out;
+  return true;
+}
+
+bool ReadU32(std::string_view data, size_t* pos, uint32_t* v) {
+  if (data.size() - *pos < 4) {
+    return false;
+  }
+  uint32_t out = 0;
+  for (int i = 0; i < 4; ++i) {
+    out |= static_cast<uint32_t>(static_cast<unsigned char>(data[*pos + i])) << (8 * i);
+  }
+  *pos += 4;
+  *v = out;
+  return true;
+}
+
+constexpr uint32_t kSketchMagic = 0x51534b31;  // "QSK1"
+
+}  // namespace
 
 QuantileSketch::QuantileSketch(double relative_error)
     : relative_error_(relative_error),
@@ -118,6 +169,89 @@ void QuantileSketch::Quantiles3(double q1, double q2, double q3, double out[3]) 
   for (; k < 3; ++k) {
     out[k] = std::clamp(Representative(hi_), min_, max_);  // Unreachable in practice.
   }
+}
+
+void QuantileSketch::SerializeTo(std::string* out) const {
+  AppendU32(out, kSketchMagic);
+  AppendU64(out, std::bit_cast<uint64_t>(relative_error_));
+  AppendU64(out, static_cast<uint64_t>(count_));
+  AppendU64(out, std::bit_cast<uint64_t>(min_));
+  AppendU64(out, std::bit_cast<uint64_t>(max_));
+  AppendU32(out, static_cast<uint32_t>(lo_));
+  AppendU32(out, static_cast<uint32_t>(static_cast<int32_t>(hi_)));
+  if (count_ > 0) {
+    for (int i = lo_; i <= hi_; ++i) {
+      AppendU64(out, static_cast<uint64_t>(counts_[static_cast<size_t>(i)]));
+    }
+  }
+}
+
+bool QuantileSketch::DeserializeFrom(std::string_view data, size_t* pos,
+                                     QuantileSketch* out) {
+  size_t p = *pos;
+  uint32_t magic = 0, lo_raw = 0, hi_raw = 0;
+  uint64_t err_bits = 0, count_raw = 0, min_bits = 0, max_bits = 0;
+  if (!ReadU32(data, &p, &magic) || magic != kSketchMagic ||
+      !ReadU64(data, &p, &err_bits) || !ReadU64(data, &p, &count_raw) ||
+      !ReadU64(data, &p, &min_bits) || !ReadU64(data, &p, &max_bits) ||
+      !ReadU32(data, &p, &lo_raw) || !ReadU32(data, &p, &hi_raw)) {
+    return false;
+  }
+  const double relative_error = std::bit_cast<double>(err_bits);
+  if (!(relative_error > 0.0) || !(relative_error < 1.0)) {  // NaN fails both.
+    return false;
+  }
+  QuantileSketch sketch(relative_error);
+  const int64_t count = static_cast<int64_t>(count_raw);
+  const int lo = static_cast<int>(lo_raw);
+  const int hi = static_cast<int>(static_cast<int32_t>(hi_raw));
+  const double min = std::bit_cast<double>(min_bits);
+  const double max = std::bit_cast<double>(max_bits);
+  if (count < 0) {
+    return false;
+  }
+  if (count == 0) {
+    // An empty sketch carries no window and no counts; insist on the canonical empty
+    // state so re-serialization is byte-identical.
+    if (lo != 0 || hi != -1 || min != 0.0 || max != 0.0) {
+      return false;
+    }
+  } else {
+    if (lo < 0 || hi < lo || hi >= sketch.bucket_count_) {
+      return false;
+    }
+    if (std::isnan(min) || std::isnan(max) || min > max) {
+      return false;
+    }
+    sketch.counts_.assign(static_cast<size_t>(sketch.bucket_count_), 0);
+    int64_t sum = 0;
+    for (int i = lo; i <= hi; ++i) {
+      uint64_t c = 0;
+      if (!ReadU64(data, &p, &c)) {
+        return false;
+      }
+      const int64_t signed_c = static_cast<int64_t>(c);
+      if (signed_c < 0) {
+        return false;
+      }
+      sketch.counts_[static_cast<size_t>(i)] = signed_c;
+      sum += signed_c;
+    }
+    // Edge buckets of the window must be occupied (the window is tight by
+    // construction) and the counts must add up to the advertised total.
+    if (sum != count || sketch.counts_[static_cast<size_t>(lo)] == 0 ||
+        sketch.counts_[static_cast<size_t>(hi)] == 0) {
+      return false;
+    }
+    sketch.count_ = count;
+    sketch.min_ = min;
+    sketch.max_ = max;
+    sketch.lo_ = lo;
+    sketch.hi_ = hi;
+  }
+  *out = std::move(sketch);
+  *pos = p;
+  return true;
 }
 
 }  // namespace tbf::stats

@@ -27,6 +27,8 @@
 #define TBF_STATS_QUANTILE_SKETCH_H_
 
 #include <cstdint>
+#include <string>
+#include <string_view>
 #include <vector>
 
 namespace tbf::stats {
@@ -59,6 +61,20 @@ class QuantileSketch {
   // Quantile() calls. The per-flow p50/p95/p99 readout is hot enough at cell scale
   // (hundreds of flows x three meters) that the single pass matters.
   void Quantiles3(double q1, double q2, double q3, double out[3]) const;
+
+  // Appends a self-delimiting binary encoding to *out: magic, error bound, count,
+  // min/max (exact IEEE bit patterns), occupied bucket window, window counts. The
+  // encoding is a pure function of the sketch state, and DeserializeFrom reconstructs
+  // state that compares equal (operator==) to the original - so serialize -> ship ->
+  // deserialize -> Merge is bit-identical to merging the originals (the campaign
+  // coordinator pools worker sketches through exactly this path).
+  void SerializeTo(std::string* out) const;
+
+  // Parses one sketch from data at *pos, advancing *pos past it. Returns false without
+  // advancing on truncated or corrupt input (bad magic, error bound out of range,
+  // window outside the bucket array, negative bucket counts, count mismatch) - a
+  // validation failure, never a crash, so remote payloads can be rejected and re-queued.
+  static bool DeserializeFrom(std::string_view data, size_t* pos, QuantileSketch* out);
 
   int64_t count() const { return count_; }
   bool empty() const { return count_ == 0; }

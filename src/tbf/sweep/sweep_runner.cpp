@@ -93,6 +93,23 @@ void SweepRunner::RunTasks(std::vector<std::function<void()>>&& tasks) {
   done_cv.wait(lock, [&remaining] { return remaining == 0; });
 }
 
+void SweepRunner::RethrowFirstError(const std::vector<std::exception_ptr>& errors) {
+  for (size_t i = 0; i < errors.size(); ++i) {
+    if (errors[i] == nullptr) {
+      continue;
+    }
+    try {
+      std::rethrow_exception(errors[i]);
+    } catch (const SweepError&) {
+      throw;  // Already carries a job identity (nested Map is not supported anyway).
+    } catch (const std::exception& e) {
+      throw SweepError(i, e.what());
+    } catch (...) {
+      throw SweepError(i, "unknown exception");
+    }
+  }
+}
+
 std::vector<scenario::Results> SweepRunner::RunScenarios(
     const std::vector<ScenarioJob>& jobs) {
   std::vector<std::function<scenario::Results()>> fns;

@@ -18,8 +18,11 @@
 
 #include <condition_variable>
 #include <deque>
+#include <exception>
 #include <functional>
 #include <mutex>
+#include <stdexcept>
+#include <string>
 #include <thread>
 #include <utility>
 #include <vector>
@@ -28,6 +31,22 @@
 #include "tbf/scenario/wlan.h"
 
 namespace tbf::sweep {
+
+// Thrown by Map/RunScenarios when a job throws on a worker thread. Carries the failing
+// job's submission index so the caller can name it (a campaign coordinator re-queues or
+// reports that job instead of losing the whole process to std::terminate). When several
+// jobs fail in one batch, the lowest submission index wins deterministically.
+class SweepError : public std::runtime_error {
+ public:
+  SweepError(size_t job_index, const std::string& what)
+      : std::runtime_error("sweep job #" + std::to_string(job_index) + " failed: " + what),
+        job_index_(job_index) {}
+
+  size_t job_index() const { return job_index_; }
+
+ private:
+  size_t job_index_;
+};
 
 // Declarative scenario description: everything scenario::Wlan needs, by value, so the
 // job can be built and run on any worker thread.
@@ -59,16 +78,26 @@ class SweepRunner {
 
   // Runs every job on the pool and returns results in submission order. Blocks until
   // all jobs finish. T must be default-constructible and move-assignable. Not
-  // reentrant: do not call Map from inside a job.
+  // reentrant: do not call Map from inside a job. A throwing job never takes down the
+  // worker thread: every job runs to completion (the batch is not cancelled), then the
+  // lowest-index failure is rethrown as SweepError naming that job.
   template <typename T>
   std::vector<T> Map(std::vector<std::function<T()>> jobs) {
     std::vector<T> results(jobs.size());
+    std::vector<std::exception_ptr> errors(jobs.size());
     std::vector<std::function<void()>> tasks;
     tasks.reserve(jobs.size());
     for (size_t i = 0; i < jobs.size(); ++i) {
-      tasks.push_back([&results, &jobs, i] { results[i] = jobs[i](); });
+      tasks.push_back([&results, &errors, &jobs, i] {
+        try {
+          results[i] = jobs[i]();
+        } catch (...) {
+          errors[i] = std::current_exception();
+        }
+      });
     }
     RunTasks(std::move(tasks));
+    RethrowFirstError(errors);
     return results;
   }
 
@@ -79,6 +108,8 @@ class SweepRunner {
  private:
   void RunTasks(std::vector<std::function<void()>>&& tasks);
   void WorkerLoop();
+  // Throws SweepError for the lowest-index non-null entry, if any.
+  static void RethrowFirstError(const std::vector<std::exception_ptr>& errors);
 
   std::mutex mu_;
   std::condition_variable cv_;

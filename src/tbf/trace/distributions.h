@@ -45,6 +45,8 @@ struct OnOffSampler {
         1, static_cast<int64_t>(DrawParetoFlowBytes(rng, mean_flow_bytes, pareto_alpha)));
   }
   TimeNs DrawThinkNs(sim::Rng& rng) const { return DrawExpThinkNs(rng, mean_think_sec); }
+
+  friend bool operator==(const OnOffSampler&, const OnOffSampler&) = default;
 };
 
 }  // namespace tbf::trace

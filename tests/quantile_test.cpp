@@ -252,5 +252,116 @@ TEST(QuantileSketchSweepTest, ParallelShardingBitIdenticalAcrossPoolSizes) {
   EXPECT_EQ(run_pool(4), serial);
 }
 
+// ---------------------------------------------------------------------------
+// Serialization: the campaign wire format for sketches. The bar is bitwise - a
+// deserialized sketch compares equal (operator==, raw double bits) and merging
+// after the wire trip is indistinguishable from merging the originals.
+// ---------------------------------------------------------------------------
+
+QuantileSketch SampleSketch(uint64_t seed, int n) {
+  QuantileSketch sketch;
+  sim::Rng rng(seed);
+  for (int i = 0; i < n; ++i) {
+    sketch.Add(rng.Pareto(3e4, 1.25));
+  }
+  return sketch;
+}
+
+TEST(QuantileSketchSerializeTest, RoundTripIsBitwiseEqualAndCanonical) {
+  for (const QuantileSketch& original :
+       {QuantileSketch(), SampleSketch(3, 1), SampleSketch(4, 10'000)}) {
+    std::string bytes;
+    original.SerializeTo(&bytes);
+    size_t pos = 0;
+    QuantileSketch back;
+    ASSERT_TRUE(QuantileSketch::DeserializeFrom(bytes, &pos, &back));
+    EXPECT_EQ(pos, bytes.size());
+    EXPECT_EQ(back, original);
+    // Canonical: re-serializing decoded state reproduces the same bytes.
+    std::string again;
+    back.SerializeTo(&again);
+    EXPECT_EQ(again, bytes);
+  }
+}
+
+TEST(QuantileSketchSerializeTest, DeserializeAdvancesPastOneSketch) {
+  std::string bytes;
+  SampleSketch(5, 500).SerializeTo(&bytes);
+  SampleSketch(6, 700).SerializeTo(&bytes);  // Two sketches back to back.
+  size_t pos = 0;
+  QuantileSketch first, second;
+  ASSERT_TRUE(QuantileSketch::DeserializeFrom(bytes, &pos, &first));
+  ASSERT_TRUE(QuantileSketch::DeserializeFrom(bytes, &pos, &second));
+  EXPECT_EQ(pos, bytes.size());
+  EXPECT_EQ(first, SampleSketch(5, 500));
+  EXPECT_EQ(second, SampleSketch(6, 700));
+}
+
+TEST(QuantileSketchSerializeTest, MergeAfterWireTripEqualsMergeBefore) {
+  QuantileSketch merged_before;
+  QuantileSketch merged_after;
+  for (uint64_t seed = 1; seed <= 8; ++seed) {
+    const QuantileSketch shard = SampleSketch(seed, 2'000);
+    merged_before.Merge(shard);
+    std::string bytes;
+    shard.SerializeTo(&bytes);
+    size_t pos = 0;
+    QuantileSketch shipped;
+    ASSERT_TRUE(QuantileSketch::DeserializeFrom(bytes, &pos, &shipped));
+    merged_after.Merge(shipped);
+  }
+  EXPECT_EQ(merged_after, merged_before);
+}
+
+TEST(QuantileSketchSerializeTest, TruncatedPayloadsAreRejectedWithoutAdvancing) {
+  std::string bytes;
+  SampleSketch(9, 3'000).SerializeTo(&bytes);
+  for (size_t n = 0; n < bytes.size(); ++n) {
+    size_t pos = 0;
+    QuantileSketch out;
+    EXPECT_FALSE(QuantileSketch::DeserializeFrom(
+        std::string_view(bytes.data(), n), &pos, &out))
+        << "prefix " << n;
+    EXPECT_EQ(pos, 0u) << "prefix " << n;  // Rejection never consumes input.
+  }
+}
+
+TEST(QuantileSketchSerializeTest, CorruptFieldsAreRejected) {
+  std::string bytes;
+  SampleSketch(10, 3'000).SerializeTo(&bytes);
+  size_t rejected = 0;
+  for (size_t pos = 0; pos < bytes.size(); ++pos) {
+    for (const unsigned char mask : {0x01, 0x80}) {
+      std::string bad = bytes;
+      bad[pos] = static_cast<char>(bad[pos] ^ mask);
+      size_t p = 0;
+      QuantileSketch out;
+      if (!QuantileSketch::DeserializeFrom(bad, &p, &out)) {
+        ++rejected;
+      }
+    }
+  }
+  // Not every single-bit flip is detectable without a checksum (the envelope CRC
+  // covers that on the wire), but the structural checks - magic, error bound,
+  // window bounds, count consistency - must catch a large share.
+  EXPECT_GT(rejected, bytes.size() / 2);
+
+  // Targeted corruptions that must always be caught:
+  {  // Bad magic.
+    std::string bad = bytes;
+    bad[0] = static_cast<char>(bad[0] ^ 0xff);
+    size_t p = 0;
+    QuantileSketch out;
+    EXPECT_FALSE(QuantileSketch::DeserializeFrom(bad, &p, &out));
+  }
+  {  // Count inflated: sum of bucket counts no longer matches.
+    std::string bad = bytes;
+    bad[12] = static_cast<char>(bad[12] ^ 0x01);  // Low byte of count.
+    size_t p = 0;
+    QuantileSketch out;
+    EXPECT_FALSE(QuantileSketch::DeserializeFrom(bad, &p, &out));
+  }
+}
+
 }  // namespace
 }  // namespace tbf::stats

@@ -23,6 +23,7 @@ using scenario::QdiscKind;
 using scenario::Results;
 using sweep::ScenarioJob;
 using sweep::SweepRunner;
+using sweep::SweepError;
 
 ScenarioJob PairJob(QdiscKind qdisc, phy::WifiRate r1, phy::WifiRate r2, Direction dir,
                     uint64_t seed) {
@@ -160,6 +161,85 @@ TEST(SweepRunnerTest, SharedImmutableStateSurvivesConcurrentReaders) {
   const std::vector<double> sums = runner.Map(std::move(jobs));
   for (double s : sums) {
     EXPECT_EQ(s, sums[0]);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Exception propagation: a throwing job must surface as SweepError carrying the
+// failing job's submission index, not take the process down via std::terminate,
+// and must leave the pool reusable.
+// ---------------------------------------------------------------------------
+
+TEST(SweepErrorTest, WorkerExceptionCarriesJobIdentity) {
+  SweepRunner runner(4);
+  std::vector<std::function<int()>> jobs;
+  for (int i = 0; i < 16; ++i) {
+    jobs.push_back([i]() -> int {
+      if (i == 11) {
+        throw std::runtime_error("flaky scenario");
+      }
+      return i;
+    });
+  }
+  try {
+    runner.Map(std::move(jobs));
+    FAIL() << "expected SweepError";
+  } catch (const SweepError& e) {
+    EXPECT_EQ(e.job_index(), 11u);
+    EXPECT_NE(std::string(e.what()).find("sweep job #11"), std::string::npos);
+    EXPECT_NE(std::string(e.what()).find("flaky scenario"), std::string::npos);
+  }
+}
+
+TEST(SweepErrorTest, LowestFailingIndexWinsDeterministically) {
+  SweepRunner runner(4);
+  for (int round = 0; round < 5; ++round) {
+    std::vector<std::function<int()>> jobs;
+    for (int i = 0; i < 32; ++i) {
+      jobs.push_back([i]() -> int {
+        if (i % 7 == 3) {  // Jobs 3, 10, 17, 24, 31 all throw.
+          throw std::runtime_error("boom");
+        }
+        return i;
+      });
+    }
+    try {
+      runner.Map(std::move(jobs));
+      FAIL() << "expected SweepError";
+    } catch (const SweepError& e) {
+      EXPECT_EQ(e.job_index(), 3u);  // Independent of worker interleaving.
+    }
+  }
+}
+
+TEST(SweepErrorTest, PoolSurvivesAndStaysCorrectAfterFailure) {
+  SweepRunner runner(3);
+  std::vector<std::function<int()>> bad;
+  bad.push_back([]() -> int { throw std::logic_error("first batch fails"); });
+  EXPECT_THROW(runner.Map(std::move(bad)), SweepError);
+
+  // The same pool then runs a clean batch with correct, ordered results.
+  std::vector<std::function<int()>> good;
+  for (int i = 0; i < 12; ++i) {
+    good.push_back([i] { return i * 3; });
+  }
+  const std::vector<int> out = runner.Map(std::move(good));
+  ASSERT_EQ(out.size(), 12u);
+  for (int i = 0; i < 12; ++i) {
+    EXPECT_EQ(out[static_cast<size_t>(i)], i * 3);
+  }
+}
+
+TEST(SweepErrorTest, NonStdExceptionIsWrappedNotFatal) {
+  SweepRunner runner(2);
+  std::vector<std::function<int()>> jobs;
+  jobs.push_back([]() -> int { throw 42; });  // Not a std::exception.
+  try {
+    runner.Map(std::move(jobs));
+    FAIL() << "expected SweepError";
+  } catch (const SweepError& e) {
+    EXPECT_EQ(e.job_index(), 0u);
+    EXPECT_NE(std::string(e.what()).find("unknown exception"), std::string::npos);
   }
 }
 

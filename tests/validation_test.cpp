@@ -1,0 +1,159 @@
+// Scenario validation: malformed ScenarioConfig / StationSpec / FlowSpec combinations
+// must fail fast at Build() with a thrown scenario::ScenarioError naming the offending
+// spec - not a mid-run TBF_CHECK abort, and never a silently wrong simulation. This is
+// the same validation the campaign coordinator runs over every manifest job before
+// dispatching anything (campaign/manifest.h).
+#include <limits>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "tbf/scenario/wlan.h"
+#include "tbf/trace/trace.h"
+
+namespace tbf::scenario {
+namespace {
+
+ScenarioConfig BaseConfig() {
+  ScenarioConfig config;
+  config.warmup = Ms(10);
+  config.duration = Ms(50);
+  return config;
+}
+
+StationSpec Station(NodeId id, phy::WifiRate rate = phy::WifiRate::k11Mbps) {
+  StationSpec spec;
+  spec.id = id;
+  spec.rate = rate;
+  return spec;
+}
+
+FlowSpec BulkTcp(NodeId client) {
+  FlowSpec spec;
+  spec.client = client;
+  spec.direction = Direction::kDownlink;
+  spec.transport = Transport::kTcp;
+  return spec;
+}
+
+// Asserts the triple is rejected with a diagnostic containing `needle`.
+void ExpectInvalid(const ScenarioConfig& config, const std::vector<StationSpec>& stations,
+                   const std::vector<FlowSpec>& flows, const std::string& needle) {
+  const std::string err = ValidateScenario(config, stations, flows);
+  EXPECT_FALSE(err.empty()) << "expected rejection mentioning: " << needle;
+  EXPECT_NE(err.find(needle), std::string::npos) << "got: " << err;
+}
+
+TEST(ScenarioValidationTest, WellFormedScenarioPasses) {
+  EXPECT_EQ(ValidateScenario(BaseConfig(), {Station(1), Station(2)},
+                             {BulkTcp(1), BulkTcp(2)}),
+            "");
+}
+
+TEST(ScenarioValidationTest, ConfigBoundsAreEnforced) {
+  {
+    ScenarioConfig config = BaseConfig();
+    config.duration = 0;
+    ExpectInvalid(config, {Station(1)}, {}, "duration");
+  }
+  {
+    ScenarioConfig config = BaseConfig();
+    config.warmup = -1;
+    ExpectInvalid(config, {Station(1)}, {}, "warmup");
+  }
+  {
+    ScenarioConfig config = BaseConfig();
+    config.timings.cw_max = config.timings.cw_min - 1;
+    ExpectInvalid(config, {Station(1)}, {}, "cw_min");
+  }
+  {
+    ScenarioConfig config = BaseConfig();
+    config.qdisc = QdiscKind::kTbr;
+    config.tbr.fill_period = 0;
+    ExpectInvalid(config, {Station(1)}, {}, "TBR");
+  }
+}
+
+TEST(ScenarioValidationTest, StationSpecsAreValidatedWithIdentity) {
+  ExpectInvalid(BaseConfig(), {Station(0)}, {}, "station #0");
+  ExpectInvalid(BaseConfig(), {Station(kServerId)}, {}, "client ids");
+  ExpectInvalid(BaseConfig(), {Station(3), Station(3)}, {}, "duplicate");
+  {
+    StationSpec bad = Station(1);
+    bad.per = 1.5;
+    ExpectInvalid(BaseConfig(), {bad}, {}, "per must be in [0, 1]");
+  }
+  {
+    StationSpec bad = Station(1);
+    bad.per = std::numeric_limits<double>::quiet_NaN();  // NaN must not slip through.
+    ExpectInvalid(BaseConfig(), {bad}, {}, "per must be in [0, 1]");
+  }
+}
+
+TEST(ScenarioValidationTest, FlowSpecsAreValidatedWithIdentity) {
+  ExpectInvalid(BaseConfig(), {Station(1)}, {BulkTcp(2)}, "undeclared station");
+  {
+    FlowSpec bad = BulkTcp(1);
+    bad.packet_bytes = 40;  // Exactly the TCP header: no payload fits.
+    ExpectInvalid(BaseConfig(), {Station(1)}, {bad}, "packet_bytes");
+  }
+  {
+    FlowSpec bad = BulkTcp(1);
+    bad.transport = Transport::kUdp;
+    bad.udp_rate = 0;
+    ExpectInvalid(BaseConfig(), {Station(1)}, {bad}, "udp_rate");
+  }
+  {
+    FlowSpec bad = BulkTcp(1);
+    bad.model = TrafficModel::kTaskSequence;  // task_bytes/task_count left at 0.
+    ExpectInvalid(BaseConfig(), {Station(1)}, {bad}, "task");
+  }
+  {
+    FlowSpec bad = BulkTcp(1);
+    bad.model = TrafficModel::kOnOffWeb;
+    bad.onoff.pareto_alpha = 1.0;  // Infinite-mean Pareto.
+    ExpectInvalid(BaseConfig(), {Station(1)}, {bad}, "pareto_alpha");
+  }
+  {
+    FlowSpec bad = BulkTcp(1);
+    bad.model = TrafficModel::kTraceReplay;  // Empty replay.
+    ExpectInvalid(BaseConfig(), {Station(1)}, {bad}, "replay");
+  }
+  {
+    FlowSpec bad = BulkTcp(1);
+    bad.model = TrafficModel::kTraceReplay;
+    bad.replay = {{Ms(10), 1000}, {Ms(5), 1000}};  // Out of trace order.
+    ExpectInvalid(BaseConfig(), {Station(1)}, {bad}, "trace order");
+  }
+  // The diagnostic names the failing flow, not just the failure.
+  FlowSpec bad = BulkTcp(1);
+  bad.packet_bytes = 1;
+  const std::string err =
+      ValidateScenario(BaseConfig(), {Station(1)}, {BulkTcp(1), bad});
+  EXPECT_NE(err.find("flow #1"), std::string::npos) << err;
+}
+
+TEST(ScenarioValidationTest, BuildThrowsScenarioErrorInsteadOfAborting) {
+  Wlan wlan(BaseConfig());
+  wlan.AddStation(Station(1));
+  wlan.AddBulkTcp(/*client=*/2, Direction::kDownlink);  // Undeclared station.
+  try {
+    wlan.Run();
+    FAIL() << "expected ScenarioError";
+  } catch (const ScenarioError& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("invalid scenario"), std::string::npos) << what;
+    EXPECT_NE(what.find("undeclared station"), std::string::npos) << what;
+  }
+}
+
+TEST(ScenarioValidationTest, ValidScenarioStillRunsAfterValidationHookup) {
+  Wlan wlan(BaseConfig());
+  wlan.AddStation(Station(1));
+  wlan.AddSaturatingUdp(/*client=*/1, Direction::kDownlink);
+  const Results results = wlan.Run();
+  EXPECT_GT(results.aggregate_bps, 0.0);
+}
+
+}  // namespace
+}  // namespace tbf::scenario
