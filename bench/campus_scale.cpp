@@ -1,0 +1,146 @@
+// Campus scale bench: multi-AP buildings driven through the sharded conservative
+// simulator (shard::CampusSim). Each row is one campus - N APs, each a full
+// single-cell stack with mixed-rate stations and bulk TCP both ways - advanced in
+// lock-step lookahead windows with per-shard pools. The table is deterministic by
+// construction (bit-identical for any TBF_SHARD_THREADS, which CI enforces by diffing
+// this binary's output across shard counts); wall-clock measurements ride on separate
+// "[wall]"-prefixed lines so the determinism diff can exclude them.
+//
+// The paper's single-cell experiments stop at one AP; this is the scale-out direction:
+// a building of cells whose only coupling is the wired backbone, exactly the shape the
+// conservative lookahead protocol exploits. On a single-core container the sharded run
+// shows ~1x wall-clock (the shards serialize); the bench exists to hold the
+// determinism bar and to measure the win where cores exist.
+#include "bench_common.h"
+
+#include <chrono>
+#include <cstdlib>
+
+#include "tbf/shard/campus_sim.h"
+
+namespace {
+
+using namespace tbf;
+
+scenario::BssSpec MakeBss(int stations) {
+  scenario::BssSpec bss;
+  for (NodeId id = 1; id <= stations; ++id) {
+    scenario::StationSpec station;
+    station.id = id;
+    // Mixed rungs: the paper's rate-diversity precondition inside every cell.
+    switch (id % 4) {
+      case 0:
+        station.rate = phy::WifiRate::k2Mbps;
+        break;
+      case 1:
+        station.rate = phy::WifiRate::k5_5Mbps;
+        break;
+      default:
+        station.rate = phy::WifiRate::k11Mbps;
+        break;
+    }
+    bss.stations.push_back(station);
+    scenario::FlowSpec flow;
+    flow.client = id;
+    flow.direction = id % 2 == 0 ? scenario::Direction::kDownlink
+                                 : scenario::Direction::kUplink;
+    flow.transport = scenario::Transport::kTcp;
+    bss.flows.push_back(flow);
+  }
+  return bss;
+}
+
+struct CampusRow {
+  const char* name;
+  scenario::QdiscKind qdisc;
+  int aps;
+  int stations_per_ap;
+};
+
+}  // namespace
+
+int main() {
+  using namespace tbf;
+  using namespace tbf::bench;
+
+  PrintHeader("Campus scale - sharded multi-AP simulation, conservative lookahead",
+              "scale-out of the paper's single-cell testbed: one BSS shard per AP, "
+              "lock-step windows bounded by the backbone latency");
+
+  std::vector<CampusRow> rows = {
+      {"Exp-Normal(RF)", scenario::QdiscKind::kFifo, 4, 16},
+      {"Exp-Normal(RF)", scenario::QdiscKind::kFifo, 16, 16},
+      {"Exp-Normal(RF)", scenario::QdiscKind::kFifo, 64, 16},
+      {"Exp-TBR(TF)", scenario::QdiscKind::kTbr, 16, 16},
+  };
+  // The 10k-station row costs minutes of single-core wall-clock; opt in explicitly
+  // (CI and the determinism gate run the CI-sized rows only).
+  if (const char* full = std::getenv("TBF_CAMPUS_FULL"); full != nullptr && full[0] == '1') {
+    rows.push_back({"Exp-Normal(RF)", scenario::QdiscKind::kFifo, 64, 160});
+  }
+
+  stats::Table table({"config", "APs", "stas", "flows", "agg Mbps", "Mbps/cell",
+                      "p95 queue ms", "windows", "xshard pkts", "drops"});
+  double suite_wall_sec = 0.0;
+  int shard_threads = 0;
+  bool ok = true;
+
+  for (const CampusRow& row : rows) {
+    scenario::CampusConfig config;
+    config.cell.qdisc = row.qdisc;
+    config.cell.seed = 5;
+    config.cell.warmup = Sec(1);
+    config.cell.duration = Sec(2);
+
+    shard::CampusSim campus(config);  // Thread count from TBF_SHARD_THREADS.
+    for (int i = 0; i < row.aps; ++i) {
+      campus.AddBss(MakeBss(row.stations_per_ap));
+    }
+
+    const auto start = std::chrono::steady_clock::now();
+    const scenario::CampusResults results = campus.Run();
+    const double wall_sec =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
+    suite_wall_sec += wall_sec;
+    shard_threads = campus.thread_count();
+
+    const int total_stations = row.aps * row.stations_per_ap;
+    table.AddRow({row.name, std::to_string(row.aps), std::to_string(total_stations),
+                  std::to_string(total_stations),
+                  stats::Table::Num(results.aggregate_bps / 1e6, 2),
+                  stats::Table::Num(results.aggregate_bps / 1e6 / row.aps, 2),
+                  stats::Table::Num(results.ap_queue_delay.P95Ms(), 1),
+                  std::to_string(results.windows),
+                  std::to_string(results.cross_shard_packets),
+                  std::to_string(results.backbone_drops)});
+    std::printf("[wall] %s %dx%d: %.2f s wall, %d shard threads\n", row.name, row.aps,
+                row.stations_per_ap, wall_sec, campus.thread_count());
+
+    // Sanity gates for CI: every cell must carry traffic, and all of it must have
+    // crossed the backbone (every flow's far end lives in the core shard).
+    if (results.aggregate_bps <= 0.0 || results.cross_shard_packets <= 0) {
+      ok = false;
+    }
+    for (const scenario::Results& cell : results.cells) {
+      if (cell.aggregate_bps <= 0.0) {
+        ok = false;
+      }
+    }
+  }
+
+  table.Print();
+
+  std::printf("\nReading: aggregate goodput scales with AP count (cells only couple "
+              "through the\nbackbone), per-cell goodput stays near the single-cell "
+              "mark, and the window count\nis ceil(simulated time / lookahead) - the "
+              "conservative horizon at work. The table\nis bit-identical for any "
+              "TBF_SHARD_THREADS; only the [wall] lines move.\n");
+  std::printf("\n[wall] campus suite: %zu campuses in %.2f s wall on %d shard threads\n",
+              rows.size(), suite_wall_sec, shard_threads);
+
+  if (!ok) {
+    std::printf("FAIL: a campus cell carried no traffic or nothing crossed shards\n");
+    return 1;
+  }
+  return 0;
+}

@@ -14,7 +14,9 @@ AccessPoint::AccessPoint(sim::Simulator* sim, mac::Medium* medium,
   medium->AddObserver(this);
 }
 
-void AccessPoint::ConnectWired(net::WiredLink* link) { wired_ = link; }
+void AccessPoint::ConnectWired(net::WiredLink* link) {
+  SetUplinkForward([link](net::PacketPtr p) { link->SendTowardServer(std::move(p)); });
+}
 
 void AccessPoint::Associate(NodeId client) { qdisc_->OnAssociate(client); }
 
@@ -57,9 +59,9 @@ void AccessPoint::OnFrameReceived(const mac::MacFrame& frame) {
     // Locally addressed (management/test traffic): nothing above the MAC here.
     return;
   }
-  if (wired_ != nullptr && p->dst >= kServerId) {
+  if (uplink_forward_ && p->dst >= kServerId) {
     ++forwarded_uplink_;
-    wired_->SendTowardServer(p);
+    uplink_forward_(p);
     return;
   }
   // Client-to-client relaying through the AP: re-enqueue on the downlink.

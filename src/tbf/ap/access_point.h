@@ -37,6 +37,12 @@ class AccessPoint : public mac::FrameProvider, public mac::FrameSink, public mac
   // Connects the wired backbone; uplink frames are forwarded toward the server side.
   void ConnectWired(net::WiredLink* link);
 
+  // Generalized uplink port: frames addressed beyond the cell (dst >= kServerId) are
+  // handed to `fn` instead of a WiredLink. The sharded campus uses this to route uplink
+  // traffic into a shard::ShardLink whose far end lives in another shard's Simulator.
+  using ForwardFn = std::function<void(net::PacketPtr)>;
+  void SetUplinkForward(ForwardFn fn) { uplink_forward_ = std::move(fn); }
+
   void Associate(NodeId client);
 
   // Entry point for downlink packets (from the wired link or generated locally).
@@ -65,7 +71,7 @@ class AccessPoint : public mac::FrameProvider, public mac::FrameSink, public mac
   std::unique_ptr<Qdisc> qdisc_;
   QueueDelayFn queue_delay_fn_;
   rateadapt::RateController* rates_;
-  net::WiredLink* wired_ = nullptr;
+  ForwardFn uplink_forward_;
   int64_t forwarded_uplink_ = 0;
   mac::DcfEntity entity_;
 };

@@ -255,27 +255,59 @@ void Medium::BeginExchange(TimeNs idle_consumed) {
     busy_until = std::max(busy_until, this_busy_end);
     airtime_.Charge(record.owner, record.airtime);
 
-    // The transmitter learns the outcome from the ACK (or its absence).
+    // The transmitter learns the outcome from the ACK (or its absence). For the common
+    // single-winner exchange the successful outcome, the observer dispatch, and the
+    // exchange settle all fire at the same instant (this_busy_end == busy_until); they
+    // are folded into one scheduled callback after the loop instead of three slab
+    // entries. A failed single-winner outcome fires at the ACK timeout, which can
+    // differ from busy_until, so it stays its own event - scheduled here, before the
+    // fold, preserving its sequence order against an equal-time settle.
     DcfEntity* w_ptr = w;
     const TimeNs charged = record.airtime;
-    if (record.success) {
-      sim_->ScheduleAt(this_busy_end, [w_ptr, charged] { w_ptr->OnTxOutcome(true, charged); });
-    } else {
+    if (collision) {
+      // Multi-winner exchanges are rare (and their outcome times diverge); keep the
+      // straightforward one-event-per-concern path.
+      const TimeNs outcome_at =
+          record.success ? this_busy_end : data_end + phy::AckTimeout(frame.rate, timings_);
+      const bool ok = record.success;
+      sim_->ScheduleAt(outcome_at, [w_ptr, charged, ok] { w_ptr->OnTxOutcome(ok, charged); });
+      // One dispatch event per record (not per observer) iterating all observers; the
+      // record stays in exchange_records_, so the callback captures only (this, index).
+      if (!observers_.empty()) {
+        const size_t index = exchange_records_.size();
+        sim_->ScheduleAt(this_busy_end, [this, index] { DispatchRecord(index); });
+      }
+    } else if (!record.success) {
       const TimeNs outcome_at = data_end + phy::AckTimeout(frame.rate, timings_);
       sim_->ScheduleAt(outcome_at, [w_ptr, charged] { w_ptr->OnTxOutcome(false, charged); });
-    }
-
-    // One dispatch event per record (not per observer) iterating all observers; the
-    // record stays in exchange_records_, so the callback captures only (this, index).
-    if (!observers_.empty()) {
-      const size_t index = exchange_records_.size();
-      sim_->ScheduleAt(this_busy_end, [this, index] { DispatchRecord(index); });
     }
     exchange_records_.push_back(std::move(record));
   }
 
   busy_time_ += busy_until - now;
-  sim_->ScheduleAt(busy_until, [this] { FinishExchange(); });
+  if (!collision) {
+    // Folded settle for the single-winner case: outcome (success only - the failure
+    // outcome was scheduled above at its ACK-timeout instant), observer dispatch, then
+    // FinishExchange, in exactly the relative order the three separate events fired in.
+    // No callback runs between the Schedule calls of one BeginExchange, so folding
+    // consecutive equal-time events preserves the global event order bit for bit; the
+    // callbacks themselves cannot tell (EnterContention no-ops while busy_ holds, and
+    // DispatchRecord runs before FinishExchange clears exchange_records_).
+    DcfEntity* w_ptr = winners_[0];
+    const TimeNs charged = exchange_records_[0].airtime;
+    const bool deliver_outcome = exchange_records_[0].success;
+    sim_->ScheduleAt(busy_until, [this, w_ptr, charged, deliver_outcome] {
+      if (deliver_outcome) {
+        w_ptr->OnTxOutcome(true, charged);
+      }
+      if (!observers_.empty()) {
+        DispatchRecord(0);
+      }
+      FinishExchange();
+    });
+  } else {
+    sim_->ScheduleAt(busy_until, [this] { FinishExchange(); });
+  }
 }
 
 void Medium::DispatchRecord(size_t index) {

@@ -8,6 +8,7 @@
 #include "tbf/net/demux.h"
 #include "tbf/net/packet.h"
 #include "tbf/net/tcp.h"  // FlowAddress.
+#include "tbf/sim/random.h"
 #include "tbf/sim/simulator.h"
 #include "tbf/util/logging.h"
 

@@ -90,6 +90,29 @@ class SnrLossModel : public LossModel {
   std::map<NodeId, double> snr_;
 };
 
+// Routes loss lookups to the SNR model for clients configured with an SNR, and to the
+// fixed-PER table for everyone else. The scenario builders (single-cell Wlan and the
+// per-BSS shards of the sharded campus) instantiate one of each model per cell and
+// dispatch per client through this adapter.
+class DispatchLossModel : public LossModel {
+ public:
+  DispatchLossModel(const FixedPerLink* fixed, const SnrLossModel* snr)
+      : fixed_(fixed), snr_(snr) {}
+
+  double FrameLossProb(NodeId src, NodeId dst, int frame_bytes,
+                       WifiRate rate) const override {
+    const NodeId client = src == kApId ? dst : src;
+    if (snr_->HasClient(client)) {
+      return snr_->FrameLossProb(src, dst, frame_bytes, rate);
+    }
+    return fixed_->FrameLossProb(src, dst, frame_bytes, rate);
+  }
+
+ private:
+  const FixedPerLink* fixed_;
+  const SnrLossModel* snr_;
+};
+
 // Log-distance indoor propagation with per-wall attenuation.
 struct PathLossConfig {
   double tx_power_dbm = 15.0;       // Typical 802.11b card.

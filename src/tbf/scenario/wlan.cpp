@@ -2,72 +2,10 @@
 
 #include <algorithm>
 
+#include "tbf/scenario/flow_engine.h"
 #include "tbf/util/logging.h"
 
 namespace tbf::scenario {
-namespace {
-
-// Routes loss lookups to the SNR model for stations configured with snr_db, and to the
-// fixed-PER table for everyone else.
-class DispatchLossModel : public phy::LossModel {
- public:
-  DispatchLossModel(const phy::FixedPerLink* fixed, const phy::SnrLossModel* snr)
-      : fixed_(fixed), snr_(snr) {}
-
-  double FrameLossProb(NodeId src, NodeId dst, int frame_bytes,
-                       phy::WifiRate rate) const override {
-    const NodeId client = src == kApId ? dst : src;
-    if (snr_->HasClient(client)) {
-      return snr_->FrameLossProb(src, dst, frame_bytes, rate);
-    }
-    return fixed_->FrameLossProb(src, dst, frame_bytes, rate);
-  }
-
- private:
-  const phy::FixedPerLink* fixed_;
-  const phy::SnrLossModel* snr_;
-};
-
-}  // namespace
-
-// One constructed flow: transport endpoints plus measurement counters.
-struct Wlan::FlowRuntime {
-  FlowSpec spec;
-  int flow_id = -1;
-  // When the first transfer actually begins: spec.start plus the CBR stagger for UDP
-  // flows. Task completions are reported relative to this, which makes
-  // AvgTaskTime/FinalTaskTime independent of the stagger and of where the warmup ends.
-  TimeNs actual_start = 0;
-
-  std::unique_ptr<net::TcpSender> tcp_sender;
-  std::unique_ptr<net::TcpReceiver> tcp_receiver;
-  std::unique_ptr<net::UdpSource> udp_source;
-  std::unique_ptr<net::UdpSink> udp_sink;
-
-  int64_t delivered_bytes = 0;   // Total payload delivered (from flow start).
-  int64_t window_snapshot = 0;   // Delivered bytes at warmup.
-
-  // Finite-task bookkeeping. `task_target` is the cumulative payload target of the
-  // task in flight (grown per task so restarts share one sequence space); UDP tasks
-  // complete when the sink has delivered it, TCP tasks when the sender reports Done.
-  int64_t task_target = 0;
-  int tasks_started = 0;
-  TimeNs task_started_at = 0;            // When the task in flight began transferring.
-  // kTraceReplay: the next task's logged due time. Durations anchor here instead of at
-  // the actual launch, so a backlogged replay charges the user's waiting time to the
-  // transfer (sojourn from logged arrival) instead of silently excluding it. -1 = unset.
-  TimeNs next_task_due = -1;
-  std::vector<TimeNs> task_completions;  // Absolute sim times, converted on readout.
-  std::vector<TimeNs> task_durations;    // Completion minus that task's transfer start.
-  size_t replay_next = 1;                // kTraceReplay: index of the next logged task.
-
-  // Streaming latency meters (see FlowResult for what each one samples).
-  stats::QuantileSketch rtt_sketch;
-  stats::QuantileSketch queue_delay_sketch;
-  stats::QuantileSketch task_latency_sketch;
-
-  bool HasTasks() const { return task_target > 0; }
-};
 
 Wlan::Wlan(ScenarioConfig config) : config_(config) {}
 
@@ -288,25 +226,25 @@ std::string ValidateScenario(const ScenarioConfig& config,
   return std::string();
 }
 
-std::unique_ptr<ap::Qdisc> Wlan::MakeQdisc() {
-  switch (config_.qdisc) {
+std::unique_ptr<ap::Qdisc> MakeQdisc(const ScenarioConfig& config, sim::Simulator* sim,
+                                     rateadapt::CompositeRateController* rates,
+                                     core::TimeBasedRegulator** tbr_out) {
+  switch (config.qdisc) {
     case QdiscKind::kFifo:
-      return std::make_unique<ap::FifoQdisc>(config_.fifo_limit);
+      return std::make_unique<ap::FifoQdisc>(config.fifo_limit);
     case QdiscKind::kRoundRobin:
-      return std::make_unique<ap::RoundRobinQdisc>(config_.per_queue_limit);
+      return std::make_unique<ap::RoundRobinQdisc>(config.per_queue_limit);
     case QdiscKind::kDrr:
-      return std::make_unique<ap::DrrQdisc>(config_.per_queue_limit);
-    case QdiscKind::kOarBurst: {
+      return std::make_unique<ap::DrrQdisc>(config.per_queue_limit);
+    case QdiscKind::kOarBurst:
       // OAR-style comparison baseline: bursts sized by the client's current rate.
-      rateadapt::CompositeRateController* rates = ap_rates_.get();
       return std::make_unique<ap::BurstRoundRobinQdisc>(
           [rates](NodeId client) { return phy::GetRateInfo(rates->CurrentRate(client)).bps; },
-          Mbps(1), config_.per_queue_limit);
-    }
+          Mbps(1), config.per_queue_limit);
     case QdiscKind::kTbr: {
-      auto tbr = std::make_unique<core::TimeBasedRegulator>(&sim_, config_.timings,
-                                                            config_.tbr);
-      tbr_ = tbr.get();
+      auto tbr = std::make_unique<core::TimeBasedRegulator>(sim, config.timings,
+                                                            config.tbr);
+      *tbr_out = tbr.get();
       return tbr;
     }
   }
@@ -324,10 +262,12 @@ void Wlan::Build() {
   rng_ = std::make_unique<sim::Rng>(config_.seed);
   fixed_loss_ = std::make_unique<phy::FixedPerLink>();
   snr_loss_ = std::make_unique<phy::SnrLossModel>();
-  loss_ = std::make_unique<DispatchLossModel>(fixed_loss_.get(), snr_loss_.get());
+  loss_ = std::make_unique<phy::DispatchLossModel>(fixed_loss_.get(), snr_loss_.get());
   medium_ = std::make_unique<mac::Medium>(&sim_, config_.timings, loss_.get(), rng_.get());
   ap_rates_ = std::make_unique<rateadapt::CompositeRateController>();
-  ap_ = std::make_unique<ap::AccessPoint>(&sim_, medium_.get(), MakeQdisc(), ap_rates_.get());
+  ap_ = std::make_unique<ap::AccessPoint>(
+      &sim_, medium_.get(), MakeQdisc(config_, &sim_, ap_rates_.get(), &tbr_),
+      ap_rates_.get());
   wired_ = std::make_unique<net::WiredLink>(&sim_, config_.wired_rate, config_.wired_delay);
   demux_ = std::make_unique<net::Demux>();
   server_ = std::make_unique<net::WiredHost>(&sim_, kServerId, demux_.get(), wired_.get());
@@ -375,9 +315,11 @@ void Wlan::Build() {
     TBF_CHECK(it != hosts_.end()) << "flow references unknown station " << spec.client;
     net::WirelessHost* host = it->second.get();
 
-    auto rt = std::make_unique<FlowRuntime>();
+    auto rt = std::make_unique<FlowEngine>();
     rt->spec = spec;
     rt->flow_id = next_flow_id++;
+    rt->sim = &sim_;
+    rt->rng = rng_.get();
 
     net::FlowAddress addr;
     addr.flow_id = rt->flow_id;
@@ -402,32 +344,11 @@ void Wlan::Build() {
       }
     };
 
-    FlowRuntime* rt_ptr = rt.get();
-    auto deliver = [this, rt_ptr](int64_t bytes) { OnDelivered(rt_ptr, bytes); };
+    FlowEngine* rt_ptr = rt.get();
+    auto deliver = [rt_ptr](int64_t bytes) { rt_ptr->OnDelivered(bytes); };
 
-    // Size of the first transfer: the spec's task size, an on/off draw, or the trace's
-    // first logged transfer. 0 keeps the flow unbounded (kBulk fluid transfer).
-    // `flow_start` is where the first transfer begins; trace replays anchor it at the
-    // first logged arrival so later transfers keep their logged offsets from it.
-    int64_t first_task = 0;
-    TimeNs flow_start = spec.start;
-    switch (spec.model) {
-      case TrafficModel::kBulk:
-        first_task = spec.task_bytes;
-        break;
-      case TrafficModel::kTaskSequence:
-        first_task = spec.task_bytes;  // ValidateScenario pinned size and count > 0.
-        break;
-      case TrafficModel::kOnOffWeb:
-        first_task = spec.onoff.DrawFlowBytes(*rng_);
-        break;
-      case TrafficModel::kTraceReplay:
-        first_task = spec.replay.front().bytes;
-        flow_start += spec.replay.front().at;
-        break;
-    }
-    rt->task_target = first_task;
-    rt->tasks_started = first_task > 0 ? 1 : 0;
+    const TimeNs flow_start = rt->InitFirstTask(spec.start);
+    const int64_t first_task = rt->task_target;
 
     if (spec.transport == Transport::kTcp) {
       net::TcpConfig tcp;
@@ -439,7 +360,7 @@ void Wlan::Build() {
       if (first_task > 0) {
         rt->tcp_sender->SetTaskBytes(first_task);
         // TCP tasks complete when the final byte is cumulatively acked.
-        rt->tcp_sender->SetOnTaskComplete([this, rt_ptr] { OnTaskComplete(rt_ptr); });
+        rt->tcp_sender->SetOnTaskComplete([rt_ptr] { rt_ptr->OnTaskComplete(); });
       }
       if (spec.app_limit_bps > 0) {
         rt->tcp_sender->SetAppLimitBps(spec.app_limit_bps);
@@ -475,72 +396,6 @@ void Wlan::Build() {
           static_cast<double>(delay));
     }
   });
-}
-
-void Wlan::OnDelivered(FlowRuntime* rt, int64_t bytes) {
-  rt->delivered_bytes += bytes;
-  // UDP tasks have no acks; they complete when the sink has delivered the task's
-  // payload. (A datagram lost beyond the MAC's retries stalls the task - finite UDP
-  // tasks are meant for configurations below the loss cliff.)
-  if (rt->spec.transport == Transport::kUdp && rt->HasTasks() &&
-      rt->delivered_bytes >= rt->task_target) {
-    OnTaskComplete(rt);
-  }
-}
-
-void Wlan::OnTaskComplete(FlowRuntime* rt) {
-  rt->task_completions.push_back(sim_.Now());
-  rt->task_durations.push_back(sim_.Now() - rt->task_started_at);
-  rt->task_latency_sketch.Add(static_cast<double>(rt->task_durations.back()));
-  const FlowSpec& spec = rt->spec;
-  switch (spec.model) {
-    case TrafficModel::kBulk:
-      break;  // Single finite task; nothing follows.
-    case TrafficModel::kTaskSequence:
-      if (rt->tasks_started < spec.task_count) {
-        QueueNextTask(rt, spec.task_bytes, spec.task_gap);
-      }
-      break;
-    case TrafficModel::kOnOffWeb:
-      // Think, then the next transfer. Both draws happen now (event order is
-      // deterministic, so the rng stream is too).
-      QueueNextTask(rt, spec.onoff.DrawFlowBytes(*rng_), spec.onoff.DrawThinkNs(*rng_));
-      break;
-    case TrafficModel::kTraceReplay:
-      // Launch the next logged transfer at its logged offset from the flow's start; if
-      // the cell ran slower than the capture and that moment has passed, launch now
-      // (the user is backlogged, not skipped - every logged byte still gets delivered,
-      // and the duration anchor stays at the logged due time so the wait is measured).
-      if (rt->replay_next < spec.replay.size()) {
-        const trace::ReplayTask& next = spec.replay[rt->replay_next++];
-        const TimeNs due = rt->actual_start + (next.at - spec.replay.front().at);
-        rt->next_task_due = due;
-        QueueNextTask(rt, next.bytes, std::max<TimeNs>(0, due - sim_.Now()));
-      }
-      break;
-  }
-}
-
-void Wlan::QueueNextTask(FlowRuntime* rt, int64_t bytes, TimeNs delay) {
-  ++rt->tasks_started;
-  auto launch = [this, rt, bytes] {
-    // Replay tasks anchor at their logged due time (== now unless the launch was held
-    // back by the previous task, i.e. the user was backlogged); everything else starts
-    // its clock when the transfer actually begins.
-    rt->task_started_at = rt->next_task_due >= 0 ? rt->next_task_due : sim_.Now();
-    rt->next_task_due = -1;
-    rt->task_target += bytes;
-    if (rt->tcp_sender != nullptr) {
-      rt->tcp_sender->AddTask(bytes);
-    } else {
-      rt->udp_source->AddTask(bytes);
-    }
-  };
-  if (delay > 0) {
-    sim_.Schedule(delay, launch);
-  } else {
-    launch();
-  }
 }
 
 net::WirelessHost* Wlan::host(NodeId id) {
@@ -594,52 +449,9 @@ Results Wlan::Run() {
   double sum_task_sec = 0.0;
   int64_t table1_tasks = 0;
   for (auto& flow : flows_) {
-    FlowResult fr;
-    fr.flow_id = flow->flow_id;
-    fr.client = flow->spec.client;
-    fr.tcp = flow->spec.transport == Transport::kTcp;
-    fr.bytes_delivered = flow->delivered_bytes - flow->window_snapshot;
-    fr.goodput_bps = static_cast<double>(fr.bytes_delivered) * 8.0 / window_sec;
-    // Task completions are reported relative to the flow's actual start (spec start +
-    // CBR stagger), so they do not shift with the stagger or the warmup boundary.
-    // The Table 1 aggregates use cumulative transfer durations - idle time (task_gap,
-    // think) excluded, matching the fluid model's gap-free schedule; they coincide with
-    // the completions for back-to-back sequences. On/off and trace-replay flows count
-    // toward tasks_completed but stay out of the aggregates entirely: their duration
-    // timelines embed think times / the capture's arrival structure (and, for replay,
-    // backlog wait), not a gap-free task schedule.
-    const bool table1_flow = flow->spec.model == TrafficModel::kBulk ||
-                             flow->spec.model == TrafficModel::kTaskSequence;
-    fr.task_completions.reserve(flow->task_completions.size());
-    TimeNs transfer_elapsed = 0;
-    for (size_t i = 0; i < flow->task_completions.size(); ++i) {
-      fr.task_completions.push_back(flow->task_completions[i] - flow->actual_start);
-      transfer_elapsed += flow->task_durations[i];
-      ++results.tasks_completed;
-      if (table1_flow) {
-        ++table1_tasks;
-        sum_task_sec += ToSeconds(transfer_elapsed);
-        results.final_task_time_sec =
-            std::max(results.final_task_time_sec, ToSeconds(transfer_elapsed));
-      }
-    }
-    fr.task_durations = flow->task_durations;
-    if (!fr.task_completions.empty()) {
-      fr.completion_time = fr.task_completions.back();
-    }
-    if (flow->tcp_sender != nullptr) {
-      fr.retransmits = flow->tcp_sender->retransmits();
-      fr.timeouts = flow->tcp_sender->timeouts();
-    }
-    fr.rtt = LatencySummary::FromSketch(flow->rtt_sketch);
-    fr.queue_delay = LatencySummary::FromSketch(flow->queue_delay_sketch);
-    fr.task_latency = LatencySummary::FromSketch(flow->task_latency_sketch);
-    results.rtt_sketch.Merge(flow->rtt_sketch);
-    results.ap_queue_delay_sketch.Merge(flow->queue_delay_sketch);
-    results.task_latency_sketch.Merge(flow->task_latency_sketch);
-    results.goodput_bps[flow->spec.client] += fr.goodput_bps;
-    results.aggregate_bps += fr.goodput_bps;
-    results.flows.push_back(fr);
+    AccumulateFlowResult(*flow, flow->delivered_bytes - flow->window_snapshot,
+                         window_sec, flow->queue_delay_sketch, &results, &sum_task_sec,
+                         &table1_tasks);
   }
   if (table1_tasks > 0) {
     results.avg_task_time_sec = sum_task_sec / static_cast<double>(table1_tasks);

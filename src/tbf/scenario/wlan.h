@@ -125,6 +125,16 @@ std::string ValidateScenario(const ScenarioConfig& config,
                              const std::vector<StationSpec>& stations,
                              const std::vector<FlowSpec>& flows);
 
+// Builds the AP transmit qdisc a config asks for. `rates` feeds the burst-sizing
+// baseline (kOarBurst); when the config selects TBR, `*tbr_out` receives the live
+// regulator for pre-run configuration (weights, client-agent wiring). Shared by the
+// single-cell builder and the sharded campus builder (one qdisc per BSS shard).
+std::unique_ptr<ap::Qdisc> MakeQdisc(const ScenarioConfig& config, sim::Simulator* sim,
+                                     rateadapt::CompositeRateController* rates,
+                                     core::TimeBasedRegulator** tbr_out);
+
+struct FlowEngine;
+
 class Wlan {
  public:
   explicit Wlan(ScenarioConfig config = {});
@@ -165,15 +175,7 @@ class Wlan {
   net::WirelessHost* host(NodeId id);
 
  private:
-  struct FlowRuntime;
-
   void Build();
-  std::unique_ptr<ap::Qdisc> MakeQdisc();
-  // Task chaining: records the task that just finished on `rt` and, for sequence and
-  // on/off flows, queues the next transfer (after the think/gap time).
-  void OnTaskComplete(FlowRuntime* rt);
-  void QueueNextTask(FlowRuntime* rt, int64_t bytes, TimeNs delay);
-  void OnDelivered(FlowRuntime* rt, int64_t bytes);
 
   ScenarioConfig config_;
   std::vector<StationSpec> station_specs_;
@@ -196,7 +198,7 @@ class Wlan {
   std::unique_ptr<net::Demux> demux_;
   std::unique_ptr<net::WiredHost> server_;
   std::map<NodeId, std::unique_ptr<net::WirelessHost>> hosts_;
-  std::vector<std::unique_ptr<FlowRuntime>> flows_;
+  std::vector<std::unique_ptr<FlowEngine>> flows_;
   core::TimeBasedRegulator* tbr_ = nullptr;
   bool built_ = false;
 };

@@ -1,0 +1,552 @@
+#include "tbf/shard/campus_sim.h"
+
+#include <algorithm>
+#include <condition_variable>
+#include <cstdlib>
+#include <functional>
+#include <map>
+#include <mutex>
+#include <thread>
+
+#include "tbf/scenario/flow_engine.h"
+#include "tbf/shard/mailbox.h"
+#include "tbf/shard/shard_link.h"
+#include "tbf/sweep/sweep_runner.h"
+#include "tbf/util/logging.h"
+
+namespace tbf::shard {
+
+using scenario::Direction;
+using scenario::FlowEngine;
+using scenario::FlowSpec;
+using scenario::StationSpec;
+using scenario::TrafficModel;
+using scenario::Transport;
+
+// One BSS shard: a complete single-cell stack (medium, DCF stations, AP + qdisc) with
+// its own Simulator, PacketPool and Rng. The pool is declared right after the
+// Simulator so it outlives every component that can hold packets, mirroring
+// scenario::Wlan's member order.
+struct CampusSim::CellShard {
+  size_t index = 0;
+  TimeNs link_delay = 0;  // One-way backbone latency of this cell's uplink/downlink.
+
+  sim::Simulator sim;
+  net::PacketPool pool;
+  std::unique_ptr<sim::Rng> rng;
+  std::unique_ptr<phy::FixedPerLink> fixed_loss;
+  std::unique_ptr<phy::SnrLossModel> snr_loss;
+  std::unique_ptr<phy::LossModel> loss;
+  std::unique_ptr<mac::Medium> medium;
+  std::unique_ptr<rateadapt::CompositeRateController> ap_rates;
+  std::unique_ptr<ap::AccessPoint> ap;
+  std::unique_ptr<net::Demux> demux;
+  std::map<NodeId, std::unique_ptr<net::WirelessHost>> hosts;
+  core::TimeBasedRegulator* tbr = nullptr;
+
+  Mailbox to_core;                    // Written only by `uplink` during this cell's window.
+  std::unique_ptr<ShardLink> uplink;  // Cell -> core backbone direction.
+
+  std::map<NodeId, TimeNs> airtime_at_warmup;
+  TimeNs busy_at_warmup = 0;
+};
+
+// The wired core shard: owns the server side of every flow. There is no medium here -
+// just the transports, reached through the core demux, and one downlink ShardLink per
+// cell.
+struct CampusSim::CoreShard {
+  sim::Simulator sim;
+  net::PacketPool pool;
+  std::unique_ptr<sim::Rng> rng;
+  std::unique_ptr<net::Demux> demux;
+  std::vector<Mailbox> to_cell;  // [i] written only by downlinks[i] during core windows.
+  std::vector<std::unique_ptr<ShardLink>> downlinks;
+};
+
+// One campus flow. The FlowEngine lives in exactly one shard (TCP: the sender's, where
+// task completion is observed via the final cumulative ack; UDP: the sink's, where
+// delivery is counted); the far endpoint is owned here and lives in the opposite
+// shard's Simulator. `remote_delivered` is written by the receiver's shard during
+// windows and read by the coordinator only at barriers (warmup snapshot / readout).
+struct CampusSim::FlowState {
+  size_t bss = 0;
+  bool uplink = true;
+  bool tcp = true;
+  bool engine_in_cell = true;
+
+  FlowEngine engine;
+  std::unique_ptr<net::TcpReceiver> remote_tcp_receiver;
+  std::unique_ptr<net::UdpSource> remote_udp_source;
+
+  int64_t remote_delivered = 0;
+  int64_t remote_snapshot = 0;
+
+  // The AP qdisc residency tap always meters in the cell shard (the AP lives there),
+  // which for downlink flows is not the engine's shard - so the sketch lives here,
+  // written only by the cell thread, and is passed to AccumulateFlowResult explicitly.
+  stats::QuantileSketch cell_queue_delay;
+};
+
+// Persistent window pool: `threads` workers claim shard indices from a shared counter
+// and advance them to the window end. Claims and completion counts are mutex-guarded
+// (plain mutex happens-before on both edges of every window, which both the memory
+// model and TSan reason about directly); the shard advance itself runs unlocked -
+// shards share no mutable state, so no further synchronization exists or is needed.
+class CampusSim::Pool {
+ public:
+  Pool(CampusSim* owner, int threads, size_t shards) : owner_(owner), total_(shards) {
+    workers_.reserve(static_cast<size_t>(threads));
+    for (int i = 0; i < threads; ++i) {
+      workers_.emplace_back([this] { WorkerLoop(); });
+    }
+  }
+
+  ~Pool() {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      stop_ = true;
+    }
+    work_cv_.notify_all();
+    for (std::thread& worker : workers_) {
+      worker.join();
+    }
+  }
+
+  // Advances every shard to `until`; returns when all have arrived at the barrier.
+  void RunWindow(TimeNs until) {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      window_ = until;
+      next_ = 0;
+      done_ = 0;
+      ++generation_;
+    }
+    work_cv_.notify_all();
+    std::unique_lock<std::mutex> lock(mu_);
+    done_cv_.wait(lock, [this] { return done_ == total_; });
+  }
+
+ private:
+  void WorkerLoop() {
+    int64_t seen = 0;
+    std::unique_lock<std::mutex> lock(mu_);
+    for (;;) {
+      work_cv_.wait(lock, [&] { return stop_ || generation_ != seen; });
+      if (stop_) {
+        return;
+      }
+      seen = generation_;
+      const TimeNs until = window_;
+      while (next_ < total_) {
+        const size_t shard = next_++;
+        lock.unlock();
+        owner_->AdvanceShard(shard, until);
+        lock.lock();
+        if (++done_ == total_) {
+          done_cv_.notify_all();
+        }
+      }
+    }
+  }
+
+  CampusSim* owner_;
+  const size_t total_;
+  std::mutex mu_;
+  std::condition_variable work_cv_;
+  std::condition_variable done_cv_;
+  std::vector<std::thread> workers_;
+  TimeNs window_ = 0;
+  size_t next_ = 0;
+  size_t done_ = 0;
+  int64_t generation_ = 0;
+  bool stop_ = false;
+};
+
+CampusSim::CampusSim(scenario::CampusConfig config, int threads)
+    : config_(config),
+      threads_(threads > 0 ? std::min(threads, 64) : DefaultShardThreads()) {}
+
+CampusSim::~CampusSim() = default;
+
+int CampusSim::DefaultShardThreads() {
+  if (const char* env = std::getenv("TBF_SHARD_THREADS"); env != nullptr) {
+    const int n = std::atoi(env);
+    if (n > 0) {
+      return std::min(n, 64);
+    }
+  }
+  if (sweep::SweepRunner::InSweepWorker()) {
+    return 1;  // The sweep already owns the machine's parallelism budget.
+  }
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<int>(std::min(hw, 64u));
+}
+
+scenario::BssSpec& CampusSim::AddBss(scenario::BssSpec bss) {
+  TBF_CHECK(!built_) << "AddBss after Run";
+  bss_.push_back(std::move(bss));
+  return bss_.back();
+}
+
+int CampusSim::shard_count() const {
+  return static_cast<int>((built_ ? cells_.size() : bss_.size()) + 1);
+}
+
+void CampusSim::Build() {
+  TBF_CHECK(!built_);
+  if (std::string err = scenario::ValidateCampus(config_, bss_); !err.empty()) {
+    throw scenario::ScenarioError("invalid campus: " + err);
+  }
+  built_ = true;
+
+  lookahead_ = 0;
+  for (const scenario::BssSpec& bss : bss_) {
+    const TimeNs delay =
+        bss.backbone_delay > 0 ? bss.backbone_delay : config_.backbone_delay;
+    lookahead_ = lookahead_ == 0 ? delay : std::min(lookahead_, delay);
+  }
+
+  // The core seeds from the campus seed itself, cell i from seed + 1 + i, so every
+  // shard draws an independent, reproducible stream.
+  core_ = std::make_unique<CoreShard>();
+  core_->rng = std::make_unique<sim::Rng>(config_.cell.seed);
+  core_->demux = std::make_unique<net::Demux>();
+  core_->to_cell.resize(bss_.size());  // Sized once: Mailbox addresses must be stable.
+
+  cells_.reserve(bss_.size());
+  for (size_t i = 0; i < bss_.size(); ++i) {
+    BuildCell(i);
+    core_->downlinks.push_back(std::make_unique<ShardLink>(
+        &core_->sim, &core_->to_cell[i], config_.backbone_rate,
+        cells_[i]->link_delay, config_.backbone_queue_limit));
+  }
+
+  BuildFlows();
+
+  threads_ = std::min(threads_, shard_count());
+  if (threads_ > 1) {
+    pool_ = std::make_unique<Pool>(this, threads_, cells_.size() + 1);
+  }
+}
+
+void CampusSim::BuildCell(size_t index) {
+  const scenario::BssSpec& bss = bss_[index];
+  const scenario::ScenarioConfig& cc = config_.cell;
+
+  auto cell = std::make_unique<CellShard>();
+  cell->index = index;
+  cell->link_delay =
+      bss.backbone_delay > 0 ? bss.backbone_delay : config_.backbone_delay;
+  cell->rng = std::make_unique<sim::Rng>(cc.seed + 1 + static_cast<uint64_t>(index));
+  cell->fixed_loss = std::make_unique<phy::FixedPerLink>();
+  cell->snr_loss = std::make_unique<phy::SnrLossModel>();
+  cell->loss = std::make_unique<phy::DispatchLossModel>(cell->fixed_loss.get(),
+                                                        cell->snr_loss.get());
+  cell->medium = std::make_unique<mac::Medium>(&cell->sim, cc.timings, cell->loss.get(),
+                                               cell->rng.get());
+  cell->ap_rates = std::make_unique<rateadapt::CompositeRateController>();
+  cell->ap = std::make_unique<ap::AccessPoint>(
+      &cell->sim, cell->medium.get(),
+      scenario::MakeQdisc(cc, &cell->sim, cell->ap_rates.get(), &cell->tbr),
+      cell->ap_rates.get());
+  cell->demux = std::make_unique<net::Demux>();
+  cell->uplink = std::make_unique<ShardLink>(&cell->sim, &cell->to_core,
+                                             config_.backbone_rate, cell->link_delay,
+                                             config_.backbone_queue_limit);
+  ShardLink* up = cell->uplink.get();
+  cell->ap->SetUplinkForward([up](net::PacketPtr p) { up->Send(std::move(p)); });
+
+  for (const StationSpec& spec : bss.stations) {
+    if (spec.snr_db != 0.0) {
+      cell->snr_loss->SetClientSnr(spec.id, spec.snr_db);
+    } else if (spec.per > 0.0) {
+      cell->fixed_loss->SetClientPer(spec.id, spec.per);
+    }
+    std::unique_ptr<rateadapt::RateController> client_rates;
+    if (spec.arf) {
+      rateadapt::ArfConfig arf;
+      arf.initial_rate = spec.rate;
+      auto ctrl = std::make_unique<rateadapt::ArfController>(arf);
+      ctrl->Seed(kApId, spec.rate);
+      client_rates = std::move(ctrl);
+      cell->ap_rates->MarkAdaptive(spec.id, spec.rate);
+    } else {
+      client_rates = std::make_unique<rateadapt::FixedRateController>(spec.rate);
+      cell->ap_rates->PinRate(spec.id, spec.rate);
+    }
+    cell->hosts.emplace(spec.id, std::make_unique<net::WirelessHost>(
+                                     &cell->sim, cell->medium.get(), spec.id,
+                                     std::move(client_rates), cell->demux.get(),
+                                     spec.queue_limit));
+    cell->ap->Associate(spec.id);
+  }
+
+  if (cell->tbr != nullptr && cc.tbr.client_agent) {
+    CellShard* raw = cell.get();
+    cell->tbr->SetClientPauseFn([raw](NodeId client, TimeNs until) {
+      auto it = raw->hosts.find(client);
+      if (it != raw->hosts.end()) {
+        it->second->PauseUplinkUntil(until);
+      }
+    });
+  }
+
+  cells_.push_back(std::move(cell));
+}
+
+void CampusSim::BuildFlows() {
+  int next_flow_id = 1;
+  for (size_t b = 0; b < bss_.size(); ++b) {
+    CellShard* cell = cells_[b].get();
+    ShardLink* down = core_->downlinks[b].get();
+    for (const FlowSpec& spec : bss_[b].flows) {
+      auto fs = std::make_unique<FlowState>();
+      fs->bss = b;
+      fs->uplink = spec.direction == Direction::kUplink;
+      fs->tcp = spec.transport == Transport::kTcp;
+      // TCP engines sit with the sender (task completion = final cumulative ack);
+      // UDP engines sit with the sink (delivery is the completion signal).
+      fs->engine_in_cell = fs->tcp ? fs->uplink : !fs->uplink;
+
+      FlowEngine& rt = fs->engine;
+      rt.spec = spec;
+      rt.flow_id = next_flow_id++;
+      rt.sim = fs->engine_in_cell ? &cell->sim : &core_->sim;
+      rt.rng = fs->engine_in_cell ? cell->rng.get() : core_->rng.get();
+
+      auto it = cell->hosts.find(spec.client);
+      TBF_CHECK(it != cell->hosts.end()) << "flow references unknown station "
+                                         << spec.client;
+      net::WirelessHost* host = it->second.get();
+
+      net::FlowAddress addr;
+      addr.flow_id = rt.flow_id;
+      addr.wlan_client = spec.client;
+      addr.sender = fs->uplink ? spec.client : kServerId;
+      addr.receiver = fs->uplink ? kServerId : spec.client;
+
+      // The two shard-edge exits: into the cell's air, or into this cell's downlink.
+      std::function<void(net::PacketPtr)> cell_out = [host](net::PacketPtr p) {
+        host->SendPacket(std::move(p));
+      };
+      std::function<void(net::PacketPtr)> core_out = [down](net::PacketPtr p) {
+        down->Send(std::move(p));
+      };
+
+      const TimeNs flow_start = rt.InitFirstTask(spec.start);
+      const int64_t first_task = rt.task_target;
+      FlowEngine* rt_ptr = &rt;
+      FlowState* fs_ptr = fs.get();
+
+      if (fs->tcp) {
+        net::TcpConfig tcp;
+        tcp.mss = spec.packet_bytes - net::kIpTcpHeaderBytes;
+        sim::Simulator* send_sim = fs->uplink ? &cell->sim : &core_->sim;
+        net::PacketPool* send_pool = fs->uplink ? &cell->pool : &core_->pool;
+        sim::Simulator* recv_sim = fs->uplink ? &core_->sim : &cell->sim;
+        net::PacketPool* recv_pool = fs->uplink ? &core_->pool : &cell->pool;
+        // Delivered bytes are counted where the receiver lives - the shard opposite
+        // the engine - and read by the coordinator only at barriers.
+        auto deliver = [fs_ptr](int64_t bytes) { fs_ptr->remote_delivered += bytes; };
+        rt.tcp_sender = std::make_unique<net::TcpSender>(
+            send_sim, send_pool, tcp, addr, fs->uplink ? cell_out : core_out);
+        fs->remote_tcp_receiver = std::make_unique<net::TcpReceiver>(
+            recv_sim, recv_pool, tcp, addr, fs->uplink ? core_out : cell_out, deliver);
+        if (first_task > 0) {
+          rt.tcp_sender->SetTaskBytes(first_task);
+          rt.tcp_sender->SetOnTaskComplete([rt_ptr] { rt_ptr->OnTaskComplete(); });
+        }
+        if (spec.app_limit_bps > 0) {
+          rt.tcp_sender->SetAppLimitBps(spec.app_limit_bps);
+        }
+        rt.tcp_sender->SetRttSampleFn([rt_ptr](TimeNs sample) {
+          rt_ptr->rtt_sketch.Add(static_cast<double>(sample));
+        });
+        net::Demux* send_demux = fs->uplink ? cell->demux.get() : core_->demux.get();
+        net::Demux* recv_demux = fs->uplink ? core_->demux.get() : cell->demux.get();
+        send_demux->Register(addr.sender, addr.flow_id, rt.tcp_sender.get());
+        recv_demux->Register(addr.receiver, addr.flow_id, fs->remote_tcp_receiver.get());
+        rt.actual_start = flow_start;
+        rt.tcp_sender->Start(rt.actual_start);
+      } else {
+        // UDP: the source sits on the sending side, the sink (with the engine) where
+        // delivery happens. Campus validation pinned the model to kBulk, so the engine
+        // never has to restart the remote source.
+        sim::Simulator* src_sim = fs->uplink ? &cell->sim : &core_->sim;
+        net::PacketPool* src_pool = fs->uplink ? &cell->pool : &core_->pool;
+        sim::Rng* src_rng = fs->uplink ? cell->rng.get() : core_->rng.get();
+        auto deliver = [rt_ptr](int64_t bytes) { rt_ptr->OnDelivered(bytes); };
+        fs->remote_udp_source = std::make_unique<net::UdpSource>(
+            src_sim, src_pool, addr, fs->uplink ? cell_out : core_out, spec.udp_rate,
+            spec.packet_bytes, first_task, src_rng);
+        rt.udp_sink = std::make_unique<net::UdpSink>(deliver);
+        net::Demux* recv_demux = fs->uplink ? core_->demux.get() : cell->demux.get();
+        recv_demux->Register(addr.receiver, addr.flow_id, rt.udp_sink.get());
+        // Stagger CBR starts so synchronized sources do not phase-lock; flow ids are
+        // campus-global, so the stagger pattern matches an equivalent single cell.
+        rt.actual_start = flow_start + rt.flow_id * Us(97);
+        fs->remote_udp_source->Start(rt.actual_start);
+      }
+      rt.task_started_at = rt.actual_start;
+      flows_.push_back(std::move(fs));
+    }
+  }
+
+  // AP qdisc residency taps: each cell's tap only ever fires for that cell's flows,
+  // so every sketch has exactly one writing thread.
+  for (std::unique_ptr<CellShard>& cell : cells_) {
+    cell->ap->SetQueueDelayFn([this](int flow_id, NodeId /*client*/, TimeNs delay) {
+      if (flow_id >= 1 && static_cast<size_t>(flow_id) <= flows_.size()) {
+        flows_[static_cast<size_t>(flow_id) - 1]->cell_queue_delay.Add(
+            static_cast<double>(delay));
+      }
+    });
+  }
+}
+
+void CampusSim::AdvanceShard(size_t index, TimeNs until) {
+  if (index < cells_.size()) {
+    cells_[index]->sim.RunUntil(until);
+  } else {
+    core_->sim.RunUntil(until);
+  }
+}
+
+// Drains every mailbox at a window barrier, on the coordinator thread, in a fixed
+// order (per cell ascending: core->cell first, then cell->core). The order pins the
+// schedule sequence numbers of equal-timestamp deliveries, which is what makes the
+// campus bit-identical across shard-thread counts. Every posted arrival is strictly
+// later than the barrier (the ShardLink invariant), so ScheduleAt never clamps.
+void CampusSim::DrainMailboxes() {
+  for (size_t i = 0; i < cells_.size(); ++i) {
+    CellShard* cell = cells_[i].get();
+    ap::AccessPoint* ap = cell->ap.get();
+    for (const PacketRecord& r : core_->to_cell[i].pending()) {
+      net::Packet* raw = Materialize(r, &cell->pool).Detach();
+      cell->sim.ScheduleAt(r.arrival, [ap, raw] {
+        ap->EnqueueDownlink(net::PacketPtr::Adopt(raw));
+      });
+    }
+    core_->to_cell[i].Clear();
+  }
+  net::Demux* demux = core_->demux.get();
+  for (std::unique_ptr<CellShard>& cell : cells_) {
+    for (const PacketRecord& r : cell->to_core.pending()) {
+      net::Packet* raw = Materialize(r, &core_->pool).Detach();
+      core_->sim.ScheduleAt(r.arrival, [demux, raw] {
+        const net::PacketPtr p = net::PacketPtr::Adopt(raw);
+        demux->Deliver(kServerId, p);
+      });
+    }
+    cell->to_core.Clear();
+  }
+}
+
+void CampusSim::RunWindows(TimeNs until) {
+  while (t_ < until) {
+    const TimeNs window_end = std::min(t_ + lookahead_, until);
+    if (pool_ != nullptr) {
+      pool_->RunWindow(window_end);
+    } else {
+      for (size_t k = 0; k < cells_.size() + 1; ++k) {
+        AdvanceShard(k, window_end);
+      }
+    }
+    DrainMailboxes();
+    ++windows_;
+    t_ = window_end;
+  }
+}
+
+scenario::CampusResults CampusSim::Run() {
+  if (!built_) {
+    Build();
+  }
+  const scenario::ScenarioConfig& cc = config_.cell;
+
+  RunWindows(cc.warmup);
+  for (std::unique_ptr<CellShard>& cell : cells_) {
+    for (const auto& [node, t] : cell->medium->airtime_meter().by_node()) {
+      cell->airtime_at_warmup[node] = t;
+    }
+    cell->busy_at_warmup = cell->medium->busy_time();
+  }
+  for (std::unique_ptr<FlowState>& fs : flows_) {
+    fs->engine.window_snapshot = fs->engine.delivered_bytes;
+    fs->remote_snapshot = fs->remote_delivered;
+  }
+
+  RunWindows(cc.warmup + cc.duration);
+
+  scenario::CampusResults out;
+  out.lookahead = lookahead_;
+  out.windows = windows_;
+  const double window_sec = ToSeconds(cc.duration);
+
+  out.cells.resize(cells_.size());
+  for (size_t i = 0; i < cells_.size(); ++i) {
+    CellShard* cell = cells_[i].get();
+    scenario::Results& r = out.cells[i];
+
+    TimeNs total_airtime_delta = 0;
+    std::map<NodeId, TimeNs> airtime_delta;
+    for (const auto& [node, t] : cell->medium->airtime_meter().by_node()) {
+      const TimeNs before = cell->airtime_at_warmup.contains(node)
+                                ? cell->airtime_at_warmup[node]
+                                : 0;
+      airtime_delta[node] = t - before;
+      total_airtime_delta += t - before;
+    }
+    for (const auto& [node, dt] : airtime_delta) {
+      r.airtime_share[node] =
+          total_airtime_delta > 0
+              ? static_cast<double>(dt) / static_cast<double>(total_airtime_delta)
+              : 0.0;
+    }
+
+    double sum_task_sec = 0.0;
+    int64_t table1_tasks = 0;
+    for (std::unique_ptr<FlowState>& fs : flows_) {
+      if (fs->bss != i) {
+        continue;
+      }
+      // TCP delivery is always counted in the receiver's shard (opposite the engine);
+      // UDP delivery is counted by the engine itself (it owns the sink).
+      const int64_t delta =
+          fs->tcp ? fs->remote_delivered - fs->remote_snapshot
+                  : fs->engine.delivered_bytes - fs->engine.window_snapshot;
+      AccumulateFlowResult(fs->engine, delta, window_sec, fs->cell_queue_delay, &r,
+                           &sum_task_sec, &table1_tasks);
+    }
+    if (table1_tasks > 0) {
+      r.avg_task_time_sec = sum_task_sec / static_cast<double>(table1_tasks);
+    }
+    r.rtt = scenario::LatencySummary::FromSketch(r.rtt_sketch);
+    r.ap_queue_delay = scenario::LatencySummary::FromSketch(r.ap_queue_delay_sketch);
+    r.task_latency = scenario::LatencySummary::FromSketch(r.task_latency_sketch);
+
+    r.utilization = static_cast<double>(cell->medium->busy_time() -
+                                        cell->busy_at_warmup) /
+                    cc.duration;
+    r.mac_collisions = cell->medium->collisions();
+    r.mac_exchanges = cell->medium->exchanges();
+    r.ap_drops = cell->ap->downlink_drops();
+
+    out.aggregate_bps += r.aggregate_bps;
+    out.tasks_completed += r.tasks_completed;
+    out.mac_exchanges += r.mac_exchanges;
+    out.mac_collisions += r.mac_collisions;
+    out.rtt_sketch.Merge(r.rtt_sketch);
+    out.ap_queue_delay_sketch.Merge(r.ap_queue_delay_sketch);
+    out.task_latency_sketch.Merge(r.task_latency_sketch);
+
+    out.cross_shard_packets += cell->uplink->sent() + core_->downlinks[i]->sent();
+    out.backbone_drops += cell->uplink->drops() + core_->downlinks[i]->drops();
+  }
+  out.rtt = scenario::LatencySummary::FromSketch(out.rtt_sketch);
+  out.ap_queue_delay = scenario::LatencySummary::FromSketch(out.ap_queue_delay_sketch);
+  out.task_latency = scenario::LatencySummary::FromSketch(out.task_latency_sketch);
+  return out;
+}
+
+}  // namespace tbf::shard

@@ -1,0 +1,92 @@
+// One direction of a backbone link whose far end lives in another shard.
+//
+// Mirrors net::WiredLink's busy-until serialization exactly (idle send = one event,
+// backlogged direction = a drain chain), but instead of scheduling a delivery event it
+// posts a PacketRecord into the destination shard's mailbox, stamped with the absolute
+// arrival time `now + tx_time + delay`. Because a send at time s inside window (t-W, t]
+// arrives at s + tx + delay > t - W + W = t, every posted arrival lands strictly after
+// the window barrier - the conservative-lookahead invariant that lets the coordinator
+// schedule mailbox deliveries into the destination's future without rollback.
+#ifndef TBF_SHARD_SHARD_LINK_H_
+#define TBF_SHARD_SHARD_LINK_H_
+
+#include "tbf/net/packet.h"
+#include "tbf/shard/mailbox.h"
+#include "tbf/sim/simulator.h"
+#include "tbf/util/units.h"
+
+namespace tbf::shard {
+
+class ShardLink {
+ public:
+  // `sim` is the *sending* shard's simulator; `out` the destination shard's mailbox.
+  ShardLink(sim::Simulator* sim, Mailbox* out, BitRate rate, TimeNs delay,
+            size_t queue_limit)
+      : sim_(sim), out_(out), rate_(rate), delay_(delay), queue_limit_(queue_limit) {}
+
+  ShardLink(const ShardLink&) = delete;
+  ShardLink& operator=(const ShardLink&) = delete;
+
+  void Send(net::PacketPtr p) {
+    if (sim_->Now() >= busy_until_ && !drain_scheduled_) {
+      Transmit(std::move(p));  // Link idle and nothing queued ahead.
+      return;
+    }
+    if (queue_.size() >= queue_limit_) {
+      ++drops_;
+      return;
+    }
+    // MAC duplicate deliveries can forward the same packet again while its first copy
+    // still waits here; enqueue a clone (same hazard as WiredLink).
+    p = net::CloneIfQueued(std::move(p));
+    queue_.PushBack(std::move(p));
+    if (!drain_scheduled_) {
+      drain_scheduled_ = true;
+      sim_->ScheduleAt(busy_until_, [this] { Drain(); });
+    }
+  }
+
+  TimeNs delay() const { return delay_; }
+  int64_t sent() const { return sent_; }
+  int64_t drops() const { return drops_; }
+
+ private:
+  void Transmit(net::PacketPtr p) {
+    const TimeNs tx_time = TransmissionTime(p->size_bytes, rate_);
+    busy_until_ = sim_->Now() + tx_time;
+    // The packet's life ends at this shard's edge: flatten it into the mailbox record
+    // and release it back to the local pool; the destination shard re-materializes it
+    // from its own pool when the barrier drains the mailbox.
+    out_->Post(MakeRecord(*p, busy_until_ + delay_));
+    ++sent_;
+  }
+
+  // Fires when the serialization ahead of the queued backlog ends; FIFO order is
+  // preserved because Send never bypasses a scheduled drain.
+  void Drain() {
+    drain_scheduled_ = false;
+    if (queue_.empty()) {
+      return;
+    }
+    Transmit(queue_.PopFront());
+    if (!queue_.empty()) {
+      drain_scheduled_ = true;
+      sim_->ScheduleAt(busy_until_, [this] { Drain(); });
+    }
+  }
+
+  sim::Simulator* sim_;
+  Mailbox* out_;
+  BitRate rate_;
+  TimeNs delay_;
+  size_t queue_limit_;
+  net::PacketFifo queue_;
+  TimeNs busy_until_ = 0;
+  bool drain_scheduled_ = false;
+  int64_t sent_ = 0;
+  int64_t drops_ = 0;
+};
+
+}  // namespace tbf::shard
+
+#endif  // TBF_SHARD_SHARD_LINK_H_

@@ -4,6 +4,13 @@
 #include <cstdlib>
 
 namespace tbf::sweep {
+namespace {
+
+thread_local bool g_in_sweep_worker = false;
+
+}  // namespace
+
+bool SweepRunner::InSweepWorker() { return g_in_sweep_worker; }
 
 scenario::Results RunScenarioJob(const ScenarioJob& job) {
   scenario::Wlan wlan(job.config);
@@ -51,6 +58,7 @@ SweepRunner::~SweepRunner() {
 }
 
 void SweepRunner::WorkerLoop() {
+  g_in_sweep_worker = true;
   for (;;) {
     std::function<void()> task;
     {

@@ -76,6 +76,11 @@ class SweepRunner {
   // TBF_SWEEP_THREADS when set (clamped to [1, 64]), else hardware concurrency.
   static int DefaultThreadCount();
 
+  // True on a SweepRunner worker thread. Nested parallel subsystems (the sharded
+  // campus's shard pool) consult this to default to serial execution inside a sweep
+  // worker, so the two thread pools do not multiply against each other.
+  static bool InSweepWorker();
+
   // Runs every job on the pool and returns results in submission order. Blocks until
   // all jobs finish. T must be default-constructible and move-assignable. Not
   // reentrant: do not call Map from inside a job. A throwing job never takes down the
