@@ -19,6 +19,9 @@
 #if defined(__GLIBC__)
 #include <malloc.h>
 #endif
+#if defined(__unix__) || defined(__APPLE__)
+#include <sys/resource.h>
+#endif
 
 #include "tbf/scenario/wlan.h"
 #include "tbf/stats/table.h"
@@ -135,6 +138,25 @@ inline std::string PairName(phy::WifiRate r1, phy::WifiRate r2) {
 inline void PrintHeader(const char* title, const char* paper_ref) {
   std::printf("\n=== %s ===\n", title);
   std::printf("Reproduces: %s\n\n", paper_ref);
+}
+
+// High-water resident set of this process, in bytes (0 where unsupported). Printed on
+// "[wall]"-style lines so memory never enters the determinism diff - RSS depends on
+// thread count and allocator behavior, not on simulation results.
+inline size_t PeakRssBytes() {
+#if defined(__unix__) || defined(__APPLE__)
+  struct rusage ru {};
+  if (getrusage(RUSAGE_SELF, &ru) != 0) {
+    return 0;
+  }
+#if defined(__APPLE__)
+  return static_cast<size_t>(ru.ru_maxrss);  // Bytes on macOS.
+#else
+  return static_cast<size_t>(ru.ru_maxrss) * 1024;  // KB on Linux.
+#endif
+#else
+  return 0;
+#endif
 }
 
 }  // namespace tbf::bench

@@ -1,10 +1,16 @@
 // Campus scale bench: multi-AP buildings driven through the sharded conservative
 // simulator (shard::CampusSim). Each row is one campus - N APs, each a full
-// single-cell stack with mixed-rate stations and bulk TCP both ways - advanced in
-// lock-step lookahead windows with per-shard pools. The table is deterministic by
-// construction (bit-identical for any TBF_SHARD_THREADS, which CI enforces by diffing
-// this binary's output across shard counts); wall-clock measurements ride on separate
+// single-cell stack with mixed-rate stations, bulk TCP uplink and task-sequence TCP
+// downlink - advanced in lock-step lookahead windows with per-shard pools. The table
+// and the "[series]" task-latency time series are deterministic by construction
+// (bit-identical for any TBF_SHARD_THREADS, which CI enforces by diffing this binary's
+// output across shard counts); wall-clock and memory measurements ride on separate
 // "[wall]"-prefixed lines so the determinism diff can exclude them.
+//
+// Metrology runs in streaming mode by default (windowed series + sampled per-flow
+// retention, stats::StatsEngine), which is what bounds readout memory at 64 APs and
+// beyond. TBF_CAMPUS_EXACT=1 reverts to the legacy exact readout - the A/B knob
+// BENCH_pr8.json uses to demonstrate the readout-memory win on the same build.
 //
 // The paper's single-cell experiments stop at one AP; this is the scale-out direction:
 // a building of cells whose only coupling is the wired backbone, exactly the shape the
@@ -45,6 +51,17 @@ scenario::BssSpec MakeBss(int stations) {
     flow.direction = id % 2 == 0 ? scenario::Direction::kDownlink
                                  : scenario::Direction::kUplink;
     flow.transport = scenario::Transport::kTcp;
+    if (flow.direction == scenario::Direction::kDownlink) {
+      // Finite downloads instead of unbounded bulk: every completion feeds the
+      // task-latency meter, so the windowed series below has real content.
+      // Small enough to finish in well under a second on a congested shared cell
+      // (per-flow throughput is a couple hundred kbit/s here), so completions land
+      // in several 500 ms windows.
+      flow.model = scenario::TrafficModel::kTaskSequence;
+      flow.task_bytes = 12 * 1024;
+      flow.task_count = 64;
+      flow.task_gap = Ms(50);
+    }
     bss.flows.push_back(flow);
   }
   return bss;
@@ -57,15 +74,33 @@ struct CampusRow {
   int stations_per_ap;
 };
 
+void PrintTaskLatencySeries(const CampusRow& row,
+                            const stats::MeterSeries& series) {
+  // Deterministic per-window percentile lines - part of the CI determinism diff.
+  for (const stats::WindowStat& ws : series.windows) {
+    std::printf("[series] %s %dx%d task_latency t=%.1fs n=%lld p50=%.2fms "
+                "p95=%.2fms p99=%.2fms\n",
+                row.name, row.aps, row.stations_per_ap, ToSeconds(ws.start),
+                static_cast<long long>(ws.count), ToMillis(ws.p50), ToMillis(ws.p95),
+                ToMillis(ws.p99));
+  }
+}
+
 }  // namespace
 
 int main() {
   using namespace tbf;
   using namespace tbf::bench;
 
+  const char* exact_env = std::getenv("TBF_CAMPUS_EXACT");
+  const bool exact = exact_env != nullptr && exact_env[0] == '1';
+
   PrintHeader("Campus scale - sharded multi-AP simulation, conservative lookahead",
               "scale-out of the paper's single-cell testbed: one BSS shard per AP, "
               "lock-step windows bounded by the backbone latency");
+  std::printf("metrology: %s\n\n",
+              exact ? "exact (legacy readout, TBF_CAMPUS_EXACT=1)"
+                    : "streaming (500 ms windows, top-4 + 1-in-32 sampled retention)");
 
   std::vector<CampusRow> rows = {
       {"Exp-Normal(RF)", scenario::QdiscKind::kFifo, 4, 16},
@@ -80,7 +115,7 @@ int main() {
   }
 
   stats::Table table({"config", "APs", "stas", "flows", "agg Mbps", "Mbps/cell",
-                      "p95 queue ms", "windows", "xshard pkts", "drops"});
+                      "p95 queue ms", "p95 task ms", "windows", "xshard pkts", "drops"});
   double suite_wall_sec = 0.0;
   int shard_threads = 0;
   bool ok = true;
@@ -91,6 +126,11 @@ int main() {
     config.cell.seed = 5;
     config.cell.warmup = Sec(1);
     config.cell.duration = Sec(2);
+    if (!exact) {
+      config.cell.stats.window = Ms(500);
+      config.cell.stats.top_k = 4;
+      config.cell.stats.sample_every = 32;
+    }
 
     shard::CampusSim campus(config);  // Thread count from TBF_SHARD_THREADS.
     for (int i = 0; i < row.aps; ++i) {
@@ -110,15 +150,25 @@ int main() {
                   stats::Table::Num(results.aggregate_bps / 1e6, 2),
                   stats::Table::Num(results.aggregate_bps / 1e6 / row.aps, 2),
                   stats::Table::Num(results.ap_queue_delay.P95Ms(), 1),
+                  stats::Table::Num(results.task_latency.P95Ms(), 1),
                   std::to_string(results.windows),
                   std::to_string(results.cross_shard_packets),
                   std::to_string(results.backbone_drops)});
-    std::printf("[wall] %s %dx%d: %.2f s wall, %d shard threads\n", row.name, row.aps,
-                row.stations_per_ap, wall_sec, campus.thread_count());
+    PrintTaskLatencySeries(row, results.task_latency_series);
+    std::printf("[wall] %s %dx%d: %.2f s wall, %d shard threads, metrology %.1f KB, "
+                "peak rss %.1f MB\n",
+                row.name, row.aps, row.stations_per_ap, wall_sec,
+                campus.thread_count(), campus.MetrologyBytes() / 1024.0,
+                PeakRssBytes() / (1024.0 * 1024.0));
 
-    // Sanity gates for CI: every cell must carry traffic, and all of it must have
-    // crossed the backbone (every flow's far end lives in the core shard).
-    if (results.aggregate_bps <= 0.0 || results.cross_shard_packets <= 0) {
+    // Sanity gates for CI: every cell must carry traffic, all of it must have crossed
+    // the backbone (every flow's far end lives in the core shard), tasks must have
+    // completed, and in streaming mode the windowed series must be live.
+    if (results.aggregate_bps <= 0.0 || results.cross_shard_packets <= 0 ||
+        results.tasks_completed <= 0) {
+      ok = false;
+    }
+    if (!exact && results.task_latency_series.windows.empty()) {
       ok = false;
     }
     for (const scenario::Results& cell : results.cells) {
@@ -133,13 +183,16 @@ int main() {
   std::printf("\nReading: aggregate goodput scales with AP count (cells only couple "
               "through the\nbackbone), per-cell goodput stays near the single-cell "
               "mark, and the window count\nis ceil(simulated time / lookahead) - the "
-              "conservative horizon at work. The table\nis bit-identical for any "
-              "TBF_SHARD_THREADS; only the [wall] lines move.\n");
-  std::printf("\n[wall] campus suite: %zu campuses in %.2f s wall on %d shard threads\n",
-              rows.size(), suite_wall_sec, shard_threads);
+              "conservative horizon at work. The table\nand [series] lines are "
+              "bit-identical for any TBF_SHARD_THREADS; only the [wall]\nlines move.\n");
+  std::printf("\n[wall] campus suite: %zu campuses in %.2f s wall on %d shard threads, "
+              "peak rss %.1f MB\n",
+              rows.size(), suite_wall_sec, shard_threads,
+              PeakRssBytes() / (1024.0 * 1024.0));
 
   if (!ok) {
-    std::printf("FAIL: a campus cell carried no traffic or nothing crossed shards\n");
+    std::printf("FAIL: a campus cell carried no traffic, no tasks completed, nothing "
+                "crossed shards, or the windowed series is empty\n");
     return 1;
   }
   return 0;

@@ -17,9 +17,12 @@ BENCH_*.json carries both views of a PR.
 
 Gate mode: --gate-against BENCH_prN.json [--max-regression 2.0] additionally compares
 this run's times against a committed trajectory file and exits non-zero when any common
-benchmark regressed by more than the factor. The tolerance is deliberately loose (2x by
-default): CI runners differ from the machines that produced the trajectory, so the gate
-only catches perf rot, not noise.
+benchmark regressed by more than the factor. When both this run (via --scenarios) and
+the reference carry a "scenarios" section, numeric keys ending in _bytes or _kb are
+ratio-checked the same way - readout-memory budgets (bench_campus_scale's metrology
+numbers) gate alongside times. The tolerance is deliberately loose (2x by default): CI
+runners differ from the machines that produced the trajectory, so the gate only catches
+perf rot, not noise.
 """
 import argparse
 import json
@@ -52,8 +55,25 @@ def _to_ns(unit):
     return {"ns": 1, "us": 1e3, "ms": 1e6, "s": 1e9}[unit]
 
 
-def gate(benchmarks, gate_path, max_regression):
-    """Compares `after` times against a committed trajectory file; returns the list of
+def _memory_keys(doc, prefix=""):
+    """Yields (dotted_path, value) for numeric scenario keys that carry memory
+    measurements - keys ending in _bytes or _kb, however deep they sit."""
+    if isinstance(doc, dict):
+        for key, value in sorted(doc.items()):
+            path = f"{prefix}.{key}" if prefix else key
+            if isinstance(value, (int, float)) and not isinstance(value, bool) \
+                    and (key.endswith("_bytes") or key.endswith("_kb")):
+                yield path, value
+            else:
+                yield from _memory_keys(value, path)
+    elif isinstance(doc, list):
+        for i, value in enumerate(doc):
+            yield from _memory_keys(value, f"{prefix}[{i}]")
+
+
+def gate(benchmarks, scenarios, gate_path, max_regression):
+    """Compares `after` times (and scenario memory keys, when both sides carry a
+    scenarios section) against a committed trajectory file; returns the list of
     (name, ratio) entries exceeding max_regression."""
     with open(gate_path) as f:
         reference = json.load(f)
@@ -75,7 +95,22 @@ def gate(benchmarks, gate_path, max_regression):
               f"(x{ratio:.2f}){marker}")
         if ratio > max_regression:
             offenders.append((name, ratio))
-    print(f"gate: {checked} benchmarks compared against {gate_path} "
+    # Memory keys ride the same tolerance: readout memory is a first-class budget
+    # (the streaming StatsEngine exists to bound it), so growth past the factor is a
+    # regression exactly like a slowdown.
+    ref_memory = dict(_memory_keys(reference.get("scenarios", {})))
+    for path, value in _memory_keys(scenarios or {}):
+        ref_value = ref_memory.get(path, 0)
+        if ref_value <= 0 or value <= 0:
+            continue
+        checked += 1
+        ratio = value / ref_value
+        marker = " <-- REGRESSION" if ratio > max_regression else ""
+        print(f"  gate scenarios.{path}: {value:.0f} vs {ref_value:.0f} "
+              f"(x{ratio:.2f}){marker}")
+        if ratio > max_regression:
+            offenders.append((f"scenarios.{path}", ratio))
+    print(f"gate: {checked} measurements compared against {gate_path} "
           f"(tolerance x{max_regression}), {len(offenders)} regressed")
     return offenders
 
@@ -120,9 +155,11 @@ def main():
         },
         "benchmarks": benchmarks,
     }
+    scenarios = None
     if args.scenarios:
         with open(args.scenarios) as f:
-            doc["scenarios"] = json.load(f)
+            scenarios = json.load(f)
+        doc["scenarios"] = scenarios
     with open(args.out, "w") as f:
         json.dump(doc, f, indent=2)
         f.write("\n")
@@ -130,7 +167,7 @@ def main():
           f"{sum(1 for b in benchmarks.values() if 'speedup' in b)} with baselines)")
 
     if args.gate_against:
-        offenders = gate(benchmarks, args.gate_against, args.max_regression)
+        offenders = gate(benchmarks, scenarios, args.gate_against, args.max_regression)
         if offenders:
             for name, ratio in offenders:
                 print(f"FAIL: {name} regressed x{ratio:.2f} "

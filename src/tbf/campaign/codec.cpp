@@ -121,10 +121,16 @@ constexpr uint32_t kMaxStations = 4096;
 constexpr uint32_t kMaxFlows = 65536;
 constexpr uint32_t kMaxTasks = 1u << 22;
 constexpr uint32_t kMaxArchiveJobs = 1u << 24;
+constexpr uint32_t kMaxWindows = 1u << 20;
 
-constexpr uint32_t kJobMagic = 0x43414a31;      // "CAJ1"
-constexpr uint32_t kResultsMagic = 0x43415231;  // "CAR1"
+// v2: jobs carry StatsConfig, FlowResults the `exact` flag, Results the windowed
+// meter series. Old-format payloads must not half-decode, so the payload magics are
+// bumped; the archive keeps its magic and bumps its version field instead, which is
+// what lets DecodeArchive diagnose a stale archive by name (codec.h).
+constexpr uint32_t kJobMagic = 0x43414a32;      // "CAJ2"
+constexpr uint32_t kResultsMagic = 0x43415232;  // "CAR2"
 constexpr uint32_t kArchiveMagic = 0x54424641;  // "TBFA"
+constexpr uint32_t kArchiveVersion = 2;
 
 // ---------------------------------------------------------------------------
 // Enum codecs with range validation.
@@ -287,6 +293,10 @@ void PutConfig(ByteWriter& w, const scenario::ScenarioConfig& c) {
   w.I64(c.wired_delay);
   w.I64(c.warmup);
   w.I64(c.duration);
+  w.I64(c.stats.window);
+  w.I32(c.stats.top_k);
+  w.I32(c.stats.sample_every);
+  w.U64(c.stats.sample_seed);
 }
 
 scenario::ScenarioConfig GetConfig(ByteReader& r, bool* ok) {
@@ -301,6 +311,10 @@ scenario::ScenarioConfig GetConfig(ByteReader& r, bool* ok) {
   c.wired_delay = r.I64();
   c.warmup = r.I64();
   c.duration = r.I64();
+  c.stats.window = r.I64();
+  c.stats.top_k = r.I32();
+  c.stats.sample_every = r.I32();
+  c.stats.sample_seed = r.U64();
   return c;
 }
 
@@ -391,6 +405,7 @@ void PutFlowResult(ByteWriter& w, const scenario::FlowResult& f) {
   PutSummary(w, f.rtt);
   PutSummary(w, f.queue_delay);
   PutSummary(w, f.task_latency);
+  w.Bool(f.exact);
 }
 
 bool GetFlowResult(ByteReader& r, scenario::FlowResult* f) {
@@ -408,6 +423,40 @@ bool GetFlowResult(ByteReader& r, scenario::FlowResult* f) {
   f->rtt = GetSummary(r);
   f->queue_delay = GetSummary(r);
   f->task_latency = GetSummary(r);
+  f->exact = r.Bool();
+  return r.ok();
+}
+
+void PutSeries(ByteWriter& w, const stats::MeterSeries& s) {
+  w.I64(s.window);
+  w.U32(static_cast<uint32_t>(s.windows.size()));
+  for (const stats::WindowStat& ws : s.windows) {
+    w.I64(ws.start);
+    w.I64(ws.count);
+    w.I64(ws.p50);
+    w.I64(ws.p95);
+    w.I64(ws.p99);
+  }
+}
+
+bool GetSeries(ByteReader& r, stats::MeterSeries* out) {
+  out->window = r.I64();
+  const uint32_t n = r.Count(kMaxWindows);
+  out->windows.reserve(n);
+  TimeNs prev = 0;
+  for (uint32_t i = 0; i < n && r.ok(); ++i) {
+    stats::WindowStat ws;
+    ws.start = r.I64();
+    ws.count = r.I64();
+    ws.p50 = r.I64();
+    ws.p95 = r.I64();
+    ws.p99 = r.I64();
+    if (i > 0 && ws.start <= prev) {
+      return false;  // Sealed windows are strictly ascending by start.
+    }
+    prev = ws.start;
+    out->windows.push_back(ws);
+  }
   return r.ok();
 }
 
@@ -533,6 +582,9 @@ std::string EncodeResults(const scenario::Results& results) {
   PutSketch(w, results.rtt_sketch);
   PutSketch(w, results.ap_queue_delay_sketch);
   PutSketch(w, results.task_latency_sketch);
+  PutSeries(w, results.rtt_series);
+  PutSeries(w, results.ap_queue_delay_series);
+  PutSeries(w, results.task_latency_series);
   return w.Take();
 }
 
@@ -568,7 +620,12 @@ bool DecodeResults(std::string_view data, scenario::Results* out) {
   results.task_latency = GetSummary(r);
   if (!r.ok() || !GetSketch(r, &results.rtt_sketch) ||
       !GetSketch(r, &results.ap_queue_delay_sketch) ||
-      !GetSketch(r, &results.task_latency_sketch) || !r.AtEnd()) {
+      !GetSketch(r, &results.task_latency_sketch)) {
+    return false;
+  }
+  if (!GetSeries(r, &results.rtt_series) ||
+      !GetSeries(r, &results.ap_queue_delay_series) ||
+      !GetSeries(r, &results.task_latency_series) || !r.AtEnd()) {
     return false;
   }
   *out = std::move(results);
@@ -622,7 +679,7 @@ std::string EncodeArchive(const std::vector<std::string>& result_blobs) {
   }
   ByteWriter w;
   w.U32(kArchiveMagic);
-  w.U32(1);  // Version.
+  w.U32(kArchiveVersion);
   w.U32(static_cast<uint32_t>(result_blobs.size()));
   for (const std::string& blob : result_blobs) {
     w.U32(static_cast<uint32_t>(blob.size()));
@@ -638,7 +695,18 @@ namespace {
 bool DecodeArchiveInternal(std::string_view data, std::vector<scenario::Results>* out,
                            MergedSummary* summary) {
   ByteReader r(data);
-  if (r.U32() != kArchiveMagic || r.U32() != 1) {
+  if (r.U32() != kArchiveMagic) {
+    return false;
+  }
+  const uint32_t version = r.U32();
+  if (r.ok() && version < kArchiveVersion) {
+    // A well-framed archive from an older codec is a stale artifact, not corruption:
+    // name the version so the user knows to regenerate it.
+    throw CampaignError("campaign archive version " + std::to_string(version) +
+                        " predates the windowed stats format (current version " +
+                        std::to_string(kArchiveVersion) + "); re-run the campaign");
+  }
+  if (!r.ok() || version != kArchiveVersion) {
     return false;
   }
   const uint32_t jobs = r.Count(kMaxArchiveJobs);

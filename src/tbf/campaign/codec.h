@@ -16,10 +16,18 @@
 // campaign's canonical merged output: per-job Results blobs in manifest order plus a
 // merged trailer (pooled sketches + totals), so `cmp` on two archives is the
 // byte-identity acceptance test.
+//
+// Format v2 (windowed stats): jobs carry the StatsConfig, FlowResults carry the
+// `exact` retention flag, and Results carry the three windowed meter series. Job and
+// Results magics bumped ("CAJ2"/"CAR2") so v1 blobs fail decoding cleanly; archives
+// keep their magic but bump the version field, and decoding a v1 archive throws
+// CampaignError naming the stale version (an old archive is a user-facing artifact,
+// not line noise - it deserves a diagnosis, not a silent false).
 #ifndef TBF_CAMPAIGN_CODEC_H_
 #define TBF_CAMPAIGN_CODEC_H_
 
 #include <cstdint>
+#include <stdexcept>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -28,6 +36,14 @@
 #include "tbf/scenario/results.h"
 
 namespace tbf::campaign {
+
+// A campaign-level failure: invalid manifest, completion log from a different
+// manifest, a job that exhausted its attempt budget, or an archive from a codec
+// version that predates the windowed stats format.
+class CampaignError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
 
 // CRC-32 (IEEE 802.3 polynomial) of `data`.
 uint32_t Crc32(std::string_view data);
@@ -47,6 +63,9 @@ bool DecodeResults(std::string_view data, scenario::Results* out);
 // be EncodeResults output for job i; the trailer is recomputed from the blobs, so two
 // archives built from equal blob sequences are byte-identical however the blobs were
 // produced (serial in-process, distributed, or resumed).
+// DecodeArchive/DecodeArchiveSummary return false on corrupt or truncated input, but
+// throw CampaignError for a structurally sound archive whose version predates the
+// windowed stats format (the message names the version found).
 std::string EncodeArchive(const std::vector<std::string>& result_blobs);
 bool DecodeArchive(std::string_view data, std::vector<scenario::Results>* out);
 

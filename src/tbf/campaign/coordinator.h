@@ -34,22 +34,15 @@
 #include <cstdint>
 #include <cstdio>
 #include <memory>
-#include <stdexcept>
 #include <string>
 #include <vector>
 
+#include "tbf/campaign/codec.h"  // CampaignError.
 #include "tbf/campaign/manifest.h"
 #include "tbf/campaign/wire.h"
 #include "tbf/scenario/results.h"
 
 namespace tbf::campaign {
-
-// A campaign-level failure: invalid manifest, completion log from a different
-// manifest, or a job that exhausted its attempt budget.
-class CampaignError : public std::runtime_error {
- public:
-  using std::runtime_error::runtime_error;
-};
 
 struct CoordinatorConfig {
   // Unix-socket path workers connect to. Empty = no socket: pure local mode.

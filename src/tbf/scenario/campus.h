@@ -72,6 +72,13 @@ struct CampusResults {
   stats::QuantileSketch ap_queue_delay_sketch;
   stats::QuantileSketch task_latency_sketch;
 
+  // Campus-wide interval-percentile series (empty unless cell.stats.window > 0): per
+  // window, every shard's sealed sketch merged at the barrier in fixed cell order -
+  // bit-identical for any TBF_SHARD_THREADS like everything else here.
+  stats::MeterSeries rtt_series;
+  stats::MeterSeries ap_queue_delay_series;
+  stats::MeterSeries task_latency_series;
+
   // Sharding telemetry (identical for every shard-thread count by construction).
   TimeNs lookahead = 0;               // Conservative window: min one-way backbone delay.
   int64_t windows = 0;                // Lock-step windows executed.

@@ -32,6 +32,7 @@ TimeNs FlowEngine::InitFirstTask(TimeNs flow_start) {
 
 void FlowEngine::OnDelivered(int64_t bytes) {
   delivered_bytes += bytes;
+  stats->RecordBytes(flow_id, bytes);
   // UDP tasks have no acks; they complete when the sink has delivered the task's
   // payload. (A datagram lost beyond the MAC's retries stalls the task - finite UDP
   // tasks are meant for configurations below the loss cliff.)
@@ -41,9 +42,7 @@ void FlowEngine::OnDelivered(int64_t bytes) {
 }
 
 void FlowEngine::OnTaskComplete() {
-  task_completions.push_back(sim->Now());
-  task_durations.push_back(sim->Now() - task_started_at);
-  task_latency_sketch.Add(static_cast<double>(task_durations.back()));
+  stats->RecordTaskCompletion(flow_id, sim->Now(), sim->Now() - task_started_at);
   switch (spec.model) {
     case TrafficModel::kBulk:
       break;  // Single finite task; nothing follows.
@@ -95,14 +94,26 @@ void FlowEngine::QueueNextTask(int64_t bytes, TimeNs delay) {
 }
 
 void AccumulateFlowResult(const FlowEngine& flow, int64_t delivered_delta,
-                          double window_sec, const stats::QuantileSketch& queue_delay,
-                          Results* results, double* sum_task_sec, int64_t* table1_tasks) {
+                          double window_sec, const stats::StatsEngine& meters,
+                          const stats::StatsEngine& queue_meters, Results* results,
+                          double* sum_task_sec, int64_t* table1_tasks) {
+  static const stats::FlowStats kNoStats = stats::FlowStats();
+  const stats::FlowStats* fs = meters.flow(flow.flow_id);
+  const stats::FlowStats* qs = queue_meters.flow(flow.flow_id);
+  if (fs == nullptr) {
+    fs = &kNoStats;
+  }
+  if (qs == nullptr) {
+    qs = &kNoStats;
+  }
+
   FlowResult fr;
   fr.flow_id = flow.flow_id;
   fr.client = flow.spec.client;
   fr.tcp = flow.spec.transport == Transport::kTcp;
   fr.bytes_delivered = delivered_delta;
   fr.goodput_bps = static_cast<double>(fr.bytes_delivered) * 8.0 / window_sec;
+  fr.exact = fs->retained && qs->retained;
   // Task completions are reported relative to the flow's actual start (spec start +
   // CBR stagger), so they do not shift with the stagger or the warmup boundary.
   // The Table 1 aggregates use cumulative transfer durations - idle time (task_gap,
@@ -110,15 +121,16 @@ void AccumulateFlowResult(const FlowEngine& flow, int64_t delivered_delta,
   // the completions for back-to-back sequences. On/off and trace-replay flows count
   // toward tasks_completed but stay out of the aggregates entirely: their duration
   // timelines embed think times / the capture's arrival structure (and, for replay,
-  // backlog wait), not a gap-free task schedule.
+  // backlog wait), not a gap-free task schedule. Under sampled retention the task
+  // vectors (hence the Table 1 walk) exist only for retained flows; tasks_completed
+  // still counts every flow via the counted tier.
   const bool table1_flow = flow.spec.model == TrafficModel::kBulk ||
                            flow.spec.model == TrafficModel::kTaskSequence;
-  fr.task_completions.reserve(flow.task_completions.size());
+  fr.task_completions.reserve(fs->task_completions.size());
   TimeNs transfer_elapsed = 0;
-  for (size_t i = 0; i < flow.task_completions.size(); ++i) {
-    fr.task_completions.push_back(flow.task_completions[i] - flow.actual_start);
-    transfer_elapsed += flow.task_durations[i];
-    ++results->tasks_completed;
+  for (size_t i = 0; i < fs->task_completions.size(); ++i) {
+    fr.task_completions.push_back(fs->task_completions[i] - flow.actual_start);
+    transfer_elapsed += fs->task_durations[i];
     if (table1_flow) {
       ++*table1_tasks;
       *sum_task_sec += ToSeconds(transfer_elapsed);
@@ -126,20 +138,33 @@ void AccumulateFlowResult(const FlowEngine& flow, int64_t delivered_delta,
           std::max(results->final_task_time_sec, ToSeconds(transfer_elapsed));
     }
   }
-  fr.task_durations = flow.task_durations;
-  if (!fr.task_completions.empty()) {
-    fr.completion_time = fr.task_completions.back();
+  results->tasks_completed += fs->tasks;
+  fr.task_durations = fs->task_durations;
+  if (fs->last_completion >= 0) {
+    fr.completion_time = fs->last_completion - flow.actual_start;
   }
   if (flow.tcp_sender != nullptr) {
     fr.retransmits = flow.tcp_sender->retransmits();
     fr.timeouts = flow.tcp_sender->timeouts();
   }
-  fr.rtt = LatencySummary::FromSketch(flow.rtt_sketch);
-  fr.queue_delay = LatencySummary::FromSketch(queue_delay);
-  fr.task_latency = LatencySummary::FromSketch(flow.task_latency_sketch);
-  results->rtt_sketch.Merge(flow.rtt_sketch);
-  results->ap_queue_delay_sketch.Merge(queue_delay);
-  results->task_latency_sketch.Merge(flow.task_latency_sketch);
+  // Counted-tier-only flows report their sample counts with zero percentiles
+  // (fr.exact == false tells the reader); the run-wide meters still carry their
+  // samples in every streaming mode.
+  if (fs->retained) {
+    fr.rtt = LatencySummary::FromSketch(fs->rtt_sketch);
+    fr.task_latency = LatencySummary::FromSketch(fs->task_latency_sketch);
+  } else {
+    fr.rtt.count = fs->rtt_count;
+    fr.task_latency.count = fs->tasks;
+  }
+  if (qs->retained) {
+    fr.queue_delay = LatencySummary::FromSketch(qs->queue_delay_sketch);
+  } else {
+    fr.queue_delay.count = qs->queue_count;
+  }
+  results->rtt_sketch.Merge(fs->rtt_sketch);
+  results->ap_queue_delay_sketch.Merge(qs->queue_delay_sketch);
+  results->task_latency_sketch.Merge(fs->task_latency_sketch);
   results->goodput_bps[flow.spec.client] += fr.goodput_bps;
   results->aggregate_bps += fr.goodput_bps;
   results->flows.push_back(fr);

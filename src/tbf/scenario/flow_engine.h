@@ -1,8 +1,10 @@
 // The per-flow runtime shared by every scenario builder.
 //
-// A FlowEngine is one constructed flow: the transport endpoints it owns, the finite-task
-// bookkeeping that restarts transfers (task sequences, on/off draws, trace replays), and
-// the streaming latency meters. Extracted from scenario::Wlan so multi-shard builders
+// A FlowEngine is one constructed flow: the transport endpoints it owns and the
+// finite-task bookkeeping that restarts transfers (task sequences, on/off draws, trace
+// replays). Latency samples and delivered bytes are recorded through the owning shard's
+// stats::StatsEngine (see docs/metrology.md), never stored here - the engine struct
+// stays O(1) per flow. Extracted from scenario::Wlan so multi-shard builders
 // (shard::CampusSim) drive the exact same task-chaining state machine: the engine always
 // lives in exactly one shard - the one whose Simulator fires its callbacks - so none of
 // its state needs synchronization. In a sharded campus the engine sits on the flow's
@@ -21,7 +23,7 @@
 #include "tbf/scenario/wlan.h"
 #include "tbf/sim/random.h"
 #include "tbf/sim/simulator.h"
-#include "tbf/stats/quantile_sketch.h"
+#include "tbf/stats/engine.h"
 
 namespace tbf::scenario {
 
@@ -33,10 +35,12 @@ struct FlowEngine {
   // AvgTaskTime/FinalTaskTime independent of the stagger and of where the warmup ends.
   TimeNs actual_start = 0;
 
-  // The simulator and rng of the shard this engine lives in (single-cell scenarios
-  // have exactly one of each). Set by the builder before any task runs.
+  // The simulator, rng and stats engine of the shard this engine lives in (single-cell
+  // scenarios have exactly one of each). Set by the builder before any task runs; the
+  // flow must be registered with `stats` before its first sample.
   sim::Simulator* sim = nullptr;
   sim::Rng* rng = nullptr;
+  stats::StatsEngine* stats = nullptr;
 
   // Endpoints this engine's shard owns. In a single cell all of the flow's endpoints
   // live here; in a sharded campus only the engine-side one is non-null and the far
@@ -59,14 +63,7 @@ struct FlowEngine {
   // the actual launch, so a backlogged replay charges the user's waiting time to the
   // transfer (sojourn from logged arrival) instead of silently excluding it. -1 = unset.
   TimeNs next_task_due = -1;
-  std::vector<TimeNs> task_completions;  // Absolute sim times, converted on readout.
-  std::vector<TimeNs> task_durations;    // Completion minus that task's transfer start.
   size_t replay_next = 1;                // kTraceReplay: index of the next logged task.
-
-  // Streaming latency meters (see FlowResult for what each one samples).
-  stats::QuantileSketch rtt_sketch;
-  stats::QuantileSketch queue_delay_sketch;
-  stats::QuantileSketch task_latency_sketch;
 
   bool HasTasks() const { return task_target > 0; }
 
@@ -86,15 +83,19 @@ struct FlowEngine {
 };
 
 // Folds one engine's measurement-window readout into `results`: the FlowResult, the
-// merged cell-wide sketches, per-client goodput, and the Table 1 task aggregates
-// accumulated via `sum_task_sec`/`table1_tasks` (the caller divides at the end).
-// `delivered_delta` is the payload delivered inside the window - the caller supplies it
-// because in a sharded campus the receiver-side counter may live in the opposite shard
-// from the engine; likewise `queue_delay` is passed explicitly because the AP qdisc tap
-// always meters in the cell shard, which for downlink flows is not the engine's shard.
+// merged cell-wide sketches (retained flows only under sampled retention), per-client
+// goodput, and the Table 1 task aggregates accumulated via `sum_task_sec`/
+// `table1_tasks` (the caller divides at the end). `delivered_delta` is the payload
+// delivered inside the window - the caller supplies it because in a sharded campus the
+// receiver-side counter may live in the opposite shard from the engine. `meters` is
+// the stats engine of the shard the flow engine lives in (task + RTT meters);
+// `queue_meters` is the stats engine of the flow's *cell* shard, where the AP qdisc
+// tap always records - for downlink campus flows these differ. Single-cell callers
+// pass the same engine twice.
 void AccumulateFlowResult(const FlowEngine& flow, int64_t delivered_delta,
-                          double window_sec, const stats::QuantileSketch& queue_delay,
-                          Results* results, double* sum_task_sec, int64_t* table1_tasks);
+                          double window_sec, const stats::StatsEngine& meters,
+                          const stats::StatsEngine& queue_meters, Results* results,
+                          double* sum_task_sec, int64_t* table1_tasks);
 
 }  // namespace tbf::scenario
 

@@ -6,6 +6,7 @@
 #include <map>
 #include <vector>
 
+#include "tbf/stats/engine.h"
 #include "tbf/stats/quantile_sketch.h"
 #include "tbf/util/units.h"
 
@@ -63,6 +64,13 @@ struct FlowResult {
   int64_t retransmits = 0;
   int64_t timeouts = 0;
 
+  // Whether this flow's exact tier (task vectors, per-flow sketches) covers its whole
+  // run. Always true in legacy exact mode. Under sampled retention
+  // (StatsConfig::top_k > 0) it is false for counted-tier-only flows - their summaries
+  // carry the sample count but zero percentiles - and for flows promoted into the
+  // top-K mid-run, whose percentiles cover only the post-promotion samples.
+  bool exact = true;
+
   // Per-flow latency percentiles, metered over the whole run (tasks routinely span the
   // warmup boundary, so latency meters are not windowed the way goodput is):
   //  rtt          - raw TCP RTT samples at the sender (Karn-filtered; empty for UDP).
@@ -113,6 +121,14 @@ struct Results {
   stats::QuantileSketch rtt_sketch;
   stats::QuantileSketch ap_queue_delay_sketch;
   stats::QuantileSketch task_latency_sketch;
+
+  // Interval-percentile time series of the same three meters (empty unless the run
+  // configured StatsConfig::window > 0): one WindowStat per sealed window in which the
+  // meter saw samples. For a sharded campus the per-cell series covers samples the
+  // cell's shard observed; the campus-wide series in CampusResults covers everything.
+  stats::MeterSeries rtt_series;
+  stats::MeterSeries ap_queue_delay_series;
+  stats::MeterSeries task_latency_series;
 
   friend bool operator==(const Results&, const Results&) = default;
 

@@ -259,6 +259,12 @@ void Wlan::Build() {
   }
   built_ = true;
 
+  stats_ = stats::StatsEngine(config_.stats);
+  // A single cell is not a merge-tree child and its sim time is monotone, so older
+  // windows can never receive another sample: seal them as soon as a later one opens,
+  // keeping open-sketch memory O(1) instead of O(run length / window).
+  stats_.SetAutoSeal(true);
+
   rng_ = std::make_unique<sim::Rng>(config_.seed);
   fixed_loss_ = std::make_unique<phy::FixedPerLink>();
   snr_loss_ = std::make_unique<phy::SnrLossModel>();
@@ -320,6 +326,8 @@ void Wlan::Build() {
     rt->flow_id = next_flow_id++;
     rt->sim = &sim_;
     rt->rng = rng_.get();
+    rt->stats = &stats_;
+    stats_.RegisterFlow(rt->flow_id);
 
     net::FlowAddress addr;
     addr.flow_id = rt->flow_id;
@@ -365,8 +373,9 @@ void Wlan::Build() {
       if (spec.app_limit_bps > 0) {
         rt->tcp_sender->SetAppLimitBps(spec.app_limit_bps);
       }
-      rt->tcp_sender->SetRttSampleFn(
-          [rt_ptr](TimeNs sample) { rt_ptr->rtt_sketch.Add(static_cast<double>(sample)); });
+      rt->tcp_sender->SetRttSampleFn([rt_ptr](TimeNs sample) {
+        rt_ptr->stats->RecordRtt(rt_ptr->flow_id, rt_ptr->sim->Now(), sample);
+      });
       demux_->Register(addr.sender, addr.flow_id, rt->tcp_sender.get());
       demux_->Register(addr.receiver, addr.flow_id, rt->tcp_receiver.get());
       rt->actual_start = flow_start;
@@ -389,12 +398,9 @@ void Wlan::Build() {
   }
 
   // AP qdisc residency tap: attribute each transmitted packet's queueing delay to its
-  // flow's meter (flow ids are assigned densely from 1 in flows_ order).
+  // flow's meter (the engine drops ids it never registered).
   ap_->SetQueueDelayFn([this](int flow_id, NodeId /*client*/, TimeNs delay) {
-    if (flow_id >= 1 && static_cast<size_t>(flow_id) <= flows_.size()) {
-      flows_[static_cast<size_t>(flow_id) - 1]->queue_delay_sketch.Add(
-          static_cast<double>(delay));
-    }
+    stats_.RecordQueueDelay(flow_id, sim_.Now(), delay);
   });
 }
 
@@ -446,19 +452,32 @@ Results Wlan::Run() {
             : 0.0;
   }
 
+  stats_.FlushAll();
+
   double sum_task_sec = 0.0;
   int64_t table1_tasks = 0;
   for (auto& flow : flows_) {
     AccumulateFlowResult(*flow, flow->delivered_bytes - flow->window_snapshot,
-                         window_sec, flow->queue_delay_sketch, &results, &sum_task_sec,
+                         window_sec, stats_, stats_, &results, &sum_task_sec,
                          &table1_tasks);
   }
   if (table1_tasks > 0) {
     results.avg_task_time_sec = sum_task_sec / static_cast<double>(table1_tasks);
   }
+  // Legacy exact mode: the cell-wide sketches are the per-flow merges above, exactly
+  // the pre-engine readout. Streaming modes: replace them with the engine's complete
+  // whole-run meters (the per-flow merge covers retained flows only).
+  if (stats_.HasCompleteMeters()) {
+    results.rtt_sketch = stats_.meter(stats::kRtt);
+    results.ap_queue_delay_sketch = stats_.meter(stats::kQueueDelay);
+    results.task_latency_sketch = stats_.meter(stats::kTaskLatency);
+  }
   results.rtt = LatencySummary::FromSketch(results.rtt_sketch);
   results.ap_queue_delay = LatencySummary::FromSketch(results.ap_queue_delay_sketch);
   results.task_latency = LatencySummary::FromSketch(results.task_latency_sketch);
+  results.rtt_series = stats_.series(stats::kRtt);
+  results.ap_queue_delay_series = stats_.series(stats::kQueueDelay);
+  results.task_latency_series = stats_.series(stats::kTaskLatency);
 
   results.utilization =
       static_cast<double>(medium_->busy_time() - busy_at_warmup) / config_.duration;

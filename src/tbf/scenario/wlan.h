@@ -24,6 +24,7 @@
 #include "tbf/rateadapt/rate_controller.h"
 #include "tbf/scenario/results.h"
 #include "tbf/sim/simulator.h"
+#include "tbf/stats/engine.h"
 #include "tbf/stats/quantile_sketch.h"
 #include "tbf/trace/distributions.h"
 #include "tbf/trace/replay.h"
@@ -111,6 +112,9 @@ struct ScenarioConfig {
   TimeNs wired_delay = Us(500);
   TimeNs warmup = Sec(2);       // Stats ignore this prefix.
   TimeNs duration = Sec(30);    // Measurement window length.
+  // Metrology policy (windowed percentiles, sampled per-flow retention). The default
+  // is legacy exact mode: every flow retained, whole run one window.
+  stats::StatsConfig stats;
 
   friend bool operator==(const ScenarioConfig&, const ScenarioConfig&) = default;
 };
@@ -173,6 +177,8 @@ class Wlan {
   sim::Simulator& simulator() { return sim_; }
   net::PacketPool& packet_pool() { return packet_pool_; }
   net::WirelessHost* host(NodeId id);
+  // The run's metrology (complete after Run(); see docs/metrology.md).
+  const stats::StatsEngine& stats_engine() const { return stats_; }
 
  private:
   void Build();
@@ -199,6 +205,7 @@ class Wlan {
   std::unique_ptr<net::WiredHost> server_;
   std::map<NodeId, std::unique_ptr<net::WirelessHost>> hosts_;
   std::vector<std::unique_ptr<FlowEngine>> flows_;
+  stats::StatsEngine stats_;  // Configured from config_.stats in Build().
   core::TimeBasedRegulator* tbr_ = nullptr;
   bool built_ = false;
 };

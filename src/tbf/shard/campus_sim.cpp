@@ -47,6 +47,11 @@ struct CampusSim::CellShard {
   Mailbox to_core;                    // Written only by `uplink` during this cell's window.
   std::unique_ptr<ShardLink> uplink;  // Cell -> core backbone direction.
 
+  // This shard's metrology: queue-delay taps for the cell's flows plus the task/RTT
+  // meters of cell-side engines. Written only by the cell's thread during windows;
+  // sealed into the campus engine by the coordinator at barriers.
+  stats::StatsEngine stats;
+
   std::map<NodeId, TimeNs> airtime_at_warmup;
   TimeNs busy_at_warmup = 0;
 };
@@ -61,6 +66,10 @@ struct CampusSim::CoreShard {
   std::unique_ptr<net::Demux> demux;
   std::vector<Mailbox> to_cell;  // [i] written only by downlinks[i] during core windows.
   std::vector<std::unique_ptr<ShardLink>> downlinks;
+
+  // Core-side metrology: task/RTT meters of core-side engines plus delivered bytes of
+  // flows whose receiver lives here. Same ownership rule as the cell engines.
+  stats::StatsEngine stats;
 };
 
 // One campus flow. The FlowEngine lives in exactly one shard (TCP: the sender's, where
@@ -80,11 +89,6 @@ struct CampusSim::FlowState {
 
   int64_t remote_delivered = 0;
   int64_t remote_snapshot = 0;
-
-  // The AP qdisc residency tap always meters in the cell shard (the AP lives there),
-  // which for downlink flows is not the engine's shard - so the sketch lives here,
-  // written only by the cell thread, and is passed to AccumulateFlowResult explicitly.
-  stats::QuantileSketch cell_queue_delay;
 };
 
 // Persistent window pool: `threads` workers claim shard indices from a shared counter
@@ -211,6 +215,8 @@ void CampusSim::Build() {
   core_ = std::make_unique<CoreShard>();
   core_->rng = std::make_unique<sim::Rng>(config_.cell.seed);
   core_->demux = std::make_unique<net::Demux>();
+  core_->stats = stats::StatsEngine(config_.cell.stats);
+  campus_stats_ = stats::StatsEngine(config_.cell.stats);
   core_->to_cell.resize(bss_.size());  // Sized once: Mailbox addresses must be stable.
 
   cells_.reserve(bss_.size());
@@ -235,6 +241,7 @@ void CampusSim::BuildCell(size_t index) {
 
   auto cell = std::make_unique<CellShard>();
   cell->index = index;
+  cell->stats = stats::StatsEngine(cc.stats);
   cell->link_delay =
       bss.backbone_delay > 0 ? bss.backbone_delay : config_.backbone_delay;
   cell->rng = std::make_unique<sim::Rng>(cc.seed + 1 + static_cast<uint64_t>(index));
@@ -313,6 +320,13 @@ void CampusSim::BuildFlows() {
       rt.flow_id = next_flow_id++;
       rt.sim = fs->engine_in_cell ? &cell->sim : &core_->sim;
       rt.rng = fs->engine_in_cell ? cell->rng.get() : core_->rng.get();
+      rt.stats = fs->engine_in_cell ? &cell->stats : &core_->stats;
+      // A flow is registered wherever a shard records for it: its engine's shard
+      // (task + RTT meters), its cell (the AP queue-delay tap always fires there),
+      // and - for TCP - the receiver's shard (delivered bytes). Registration is
+      // idempotent, so overlaps are fine.
+      rt.stats->RegisterFlow(rt.flow_id);
+      cell->stats.RegisterFlow(rt.flow_id);
 
       auto it = cell->hosts.find(spec.client);
       TBF_CHECK(it != cell->hosts.end()) << "flow references unknown station "
@@ -346,8 +360,15 @@ void CampusSim::BuildFlows() {
         sim::Simulator* recv_sim = fs->uplink ? &core_->sim : &cell->sim;
         net::PacketPool* recv_pool = fs->uplink ? &core_->pool : &cell->pool;
         // Delivered bytes are counted where the receiver lives - the shard opposite
-        // the engine - and read by the coordinator only at barriers.
-        auto deliver = [fs_ptr](int64_t bytes) { fs_ptr->remote_delivered += bytes; };
+        // the engine - and read by the coordinator only at barriers. The receiver
+        // shard's stats engine also counts them (driving its retention ranking).
+        stats::StatsEngine* recv_stats = fs->uplink ? &core_->stats : &cell->stats;
+        recv_stats->RegisterFlow(rt.flow_id);
+        const int fid = rt.flow_id;
+        auto deliver = [fs_ptr, recv_stats, fid](int64_t bytes) {
+          fs_ptr->remote_delivered += bytes;
+          recv_stats->RecordBytes(fid, bytes);
+        };
         rt.tcp_sender = std::make_unique<net::TcpSender>(
             send_sim, send_pool, tcp, addr, fs->uplink ? cell_out : core_out);
         fs->remote_tcp_receiver = std::make_unique<net::TcpReceiver>(
@@ -360,7 +381,7 @@ void CampusSim::BuildFlows() {
           rt.tcp_sender->SetAppLimitBps(spec.app_limit_bps);
         }
         rt.tcp_sender->SetRttSampleFn([rt_ptr](TimeNs sample) {
-          rt_ptr->rtt_sketch.Add(static_cast<double>(sample));
+          rt_ptr->stats->RecordRtt(rt_ptr->flow_id, rt_ptr->sim->Now(), sample);
         });
         net::Demux* send_demux = fs->uplink ? cell->demux.get() : core_->demux.get();
         net::Demux* recv_demux = fs->uplink ? core_->demux.get() : cell->demux.get();
@@ -392,14 +413,13 @@ void CampusSim::BuildFlows() {
     }
   }
 
-  // AP qdisc residency taps: each cell's tap only ever fires for that cell's flows,
-  // so every sketch has exactly one writing thread.
+  // AP qdisc residency taps: each cell's tap only ever fires for that cell's flows
+  // and records into that cell's own stats engine, so every engine keeps exactly one
+  // writing thread.
   for (std::unique_ptr<CellShard>& cell : cells_) {
-    cell->ap->SetQueueDelayFn([this](int flow_id, NodeId /*client*/, TimeNs delay) {
-      if (flow_id >= 1 && static_cast<size_t>(flow_id) <= flows_.size()) {
-        flows_[static_cast<size_t>(flow_id) - 1]->cell_queue_delay.Add(
-            static_cast<double>(delay));
-      }
+    CellShard* raw = cell.get();
+    cell->ap->SetQueueDelayFn([raw](int flow_id, NodeId /*client*/, TimeNs delay) {
+      raw->stats.RecordQueueDelay(flow_id, raw->sim.Now(), delay);
     });
   }
 }
@@ -453,6 +473,17 @@ void CampusSim::RunWindows(TimeNs until) {
       }
     }
     DrainMailboxes();
+    // Windowed metrology: seal every interval that ended at or before this barrier,
+    // merging child windows into the campus engine in fixed order (cells ascending,
+    // then core) before the campus engine seals - the same determinism recipe as the
+    // mailbox drain above. All on the coordinator thread; shard threads are parked.
+    if (config_.cell.stats.window > 0) {
+      for (std::unique_ptr<CellShard>& cell : cells_) {
+        cell->stats.SealWindowsUpTo(window_end, &campus_stats_);
+      }
+      core_->stats.SealWindowsUpTo(window_end, &campus_stats_);
+      campus_stats_.SealWindowsUpTo(window_end);
+    }
     ++windows_;
     t_ = window_end;
   }
@@ -477,6 +508,15 @@ scenario::CampusResults CampusSim::Run() {
   }
 
   RunWindows(cc.warmup + cc.duration);
+
+  // End-of-run metrology flush: children first (fixed order), then the campus engine,
+  // so the partial last window and - in unwindowed streaming mode - the whole-run
+  // meters land in the campus tree exactly once.
+  for (std::unique_ptr<CellShard>& cell : cells_) {
+    cell->stats.FlushAll(&campus_stats_);
+  }
+  core_->stats.FlushAll(&campus_stats_);
+  campus_stats_.FlushAll();
 
   scenario::CampusResults out;
   out.lookahead = lookahead_;
@@ -511,19 +551,27 @@ scenario::CampusResults CampusSim::Run() {
         continue;
       }
       // TCP delivery is always counted in the receiver's shard (opposite the engine);
-      // UDP delivery is counted by the engine itself (it owns the sink).
+      // UDP delivery is counted by the engine itself (it owns the sink). Task/RTT
+      // meters read from the engine's shard, queue delay always from the cell.
       const int64_t delta =
           fs->tcp ? fs->remote_delivered - fs->remote_snapshot
                   : fs->engine.delivered_bytes - fs->engine.window_snapshot;
-      AccumulateFlowResult(fs->engine, delta, window_sec, fs->cell_queue_delay, &r,
-                           &sum_task_sec, &table1_tasks);
+      const stats::StatsEngine& engine_stats =
+          fs->engine_in_cell ? cell->stats : core_->stats;
+      AccumulateFlowResult(fs->engine, delta, window_sec, engine_stats, cell->stats,
+                           &r, &sum_task_sec, &table1_tasks);
     }
     if (table1_tasks > 0) {
       r.avg_task_time_sec = sum_task_sec / static_cast<double>(table1_tasks);
     }
+    // The per-cell sketches are the per-flow merges (retained flows only under
+    // sampled retention); the per-cell series covers what this cell's shard observed.
     r.rtt = scenario::LatencySummary::FromSketch(r.rtt_sketch);
     r.ap_queue_delay = scenario::LatencySummary::FromSketch(r.ap_queue_delay_sketch);
     r.task_latency = scenario::LatencySummary::FromSketch(r.task_latency_sketch);
+    r.rtt_series = cell->stats.series(stats::kRtt);
+    r.ap_queue_delay_series = cell->stats.series(stats::kQueueDelay);
+    r.task_latency_series = cell->stats.series(stats::kTaskLatency);
 
     r.utilization = static_cast<double>(cell->medium->busy_time() -
                                         cell->busy_at_warmup) /
@@ -543,10 +591,32 @@ scenario::CampusResults CampusSim::Run() {
     out.cross_shard_packets += cell->uplink->sent() + core_->downlinks[i]->sent();
     out.backbone_drops += cell->uplink->drops() + core_->downlinks[i]->drops();
   }
+  // Legacy exact mode: the campus-wide sketches are the per-cell merges above, byte-
+  // identical to the pre-engine readout. Streaming modes: the campus engine's merge
+  // tree carries every sample from every shard, so it replaces them.
+  if (campus_stats_.HasCompleteMeters()) {
+    out.rtt_sketch = campus_stats_.meter(stats::kRtt);
+    out.ap_queue_delay_sketch = campus_stats_.meter(stats::kQueueDelay);
+    out.task_latency_sketch = campus_stats_.meter(stats::kTaskLatency);
+  }
   out.rtt = scenario::LatencySummary::FromSketch(out.rtt_sketch);
   out.ap_queue_delay = scenario::LatencySummary::FromSketch(out.ap_queue_delay_sketch);
   out.task_latency = scenario::LatencySummary::FromSketch(out.task_latency_sketch);
+  out.rtt_series = campus_stats_.series(stats::kRtt);
+  out.ap_queue_delay_series = campus_stats_.series(stats::kQueueDelay);
+  out.task_latency_series = campus_stats_.series(stats::kTaskLatency);
   return out;
+}
+
+size_t CampusSim::MetrologyBytes() const {
+  size_t total = campus_stats_.MemoryFootprintBytes();
+  for (const std::unique_ptr<CellShard>& cell : cells_) {
+    total += cell->stats.MemoryFootprintBytes();
+  }
+  if (core_ != nullptr) {
+    total += core_->stats.MemoryFootprintBytes();
+  }
+  return total;
 }
 
 }  // namespace tbf::shard

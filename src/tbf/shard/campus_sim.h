@@ -56,6 +56,11 @@ class CampusSim {
   int shard_count() const;
   int thread_count() const { return threads_; }
 
+  // Bytes currently held by metrology across every shard engine plus the campus merge
+  // tree - the readout-memory number the streaming StatsConfig modes bound
+  // (bench_campus_scale reports it per row). Meaningful after Run().
+  size_t MetrologyBytes() const;
+
  private:
   struct CellShard;
   struct CoreShard;
@@ -82,6 +87,9 @@ class CampusSim {
   std::unique_ptr<CoreShard> core_;
   std::vector<std::unique_ptr<FlowState>> flows_;
   std::unique_ptr<Pool> pool_;
+  // Root of the metrology merge tree: receives every shard's sealed windows at
+  // barriers (coordinator thread only) and yields the campus-wide meters and series.
+  stats::StatsEngine campus_stats_;
 };
 
 }  // namespace tbf::shard

@@ -76,6 +76,10 @@ class QuantileSketch {
   // validation failure, never a crash, so remote payloads can be rejected and re-queued.
   static bool DeserializeFrom(std::string_view data, size_t* pos, QuantileSketch* out);
 
+  // Bytes this sketch holds (struct + bucket array heap). StatsEngine sums these for
+  // its metrology-footprint readout.
+  size_t MemoryBytes() const { return sizeof(*this) + counts_.capacity() * sizeof(int64_t); }
+
   int64_t count() const { return count_; }
   bool empty() const { return count_ == 0; }
   double min() const { return count_ == 0 ? 0.0 : min_; }

@@ -133,6 +133,71 @@ TEST(CampaignCodecTest, ArchiveRoundTripsAndValidatesTrailer) {
   }
 }
 
+TEST(CampaignCodecTest, WindowedResultsRoundTripExactly) {
+  Manifest manifest = SmallManifest(2);
+  for (CampaignJob& job : manifest.jobs) {
+    // Streaming metrology config: windowed series plus sampled retention, so the
+    // round-trip covers the v2 sections (stats config, series, FlowResult::exact).
+    job.config.stats.window = Ms(100);
+    job.config.stats.top_k = 1;
+    job.config.stats.sample_every = 0;
+
+    const std::string job_blob = EncodeJob(job);
+    CampaignJob job_back;
+    ASSERT_TRUE(DecodeJob(job_blob, &job_back));
+    EXPECT_EQ(job_back, job);  // StatsConfig is part of CampaignJob equality.
+
+    const scenario::Results results = sweep::RunScenarioJob(ToScenarioJob(job));
+    // Smoke-grid flows push downlink data through the AP qdisc, so the queue-delay
+    // meter is guaranteed samples (the flows are unbounded bulk - no task series).
+    EXPECT_FALSE(results.ap_queue_delay_series.windows.empty());
+    const std::string blob = EncodeResults(results);
+    scenario::Results back;
+    ASSERT_TRUE(DecodeResults(blob, &back));
+    EXPECT_EQ(back, results);  // Includes series and per-flow exact flags.
+    EXPECT_EQ(EncodeResults(back), blob);
+  }
+}
+
+TEST(CampaignCodecTest, PreWindowedPayloadMagicsAreRejected) {
+  const Manifest manifest = SmallManifest(1);
+  // v1 blobs led with "CAJ1"/"CAR1"; a v2 decoder must reject them outright rather
+  // than misparse the old layout.
+  std::string job_blob = EncodeJob(manifest.jobs[0]);
+  job_blob[3] = '1';  // "CAJ2" -> "CAJ1" (little-endian: byte 3 is the high byte).
+  CampaignJob job_out;
+  EXPECT_FALSE(DecodeJob(job_blob, &job_out));
+
+  std::string results_blob =
+      EncodeResults(sweep::RunScenarioJob(ToScenarioJob(manifest.jobs[0])));
+  results_blob[3] = '1';  // "CAR2" -> "CAR1".
+  scenario::Results results_out;
+  EXPECT_FALSE(DecodeResults(results_blob, &results_out));
+}
+
+TEST(CampaignCodecTest, StaleArchiveVersionThrowsNamingTheVersion) {
+  const Manifest manifest = SmallManifest(1);
+  const std::string blob =
+      EncodeResults(sweep::RunScenarioJob(ToScenarioJob(manifest.jobs[0])));
+  std::string archive = EncodeArchive({blob});
+  // Patch the version field (u32 at offset 4) down to the pre-windowed format.
+  archive[4] = 1;
+  archive[5] = archive[6] = archive[7] = 0;
+  std::vector<scenario::Results> out;
+  try {
+    DecodeArchive(archive, &out);
+    FAIL() << "stale archive version must throw CampaignError";
+  } catch (const CampaignError& e) {
+    EXPECT_NE(std::string(e.what()).find("version 1"), std::string::npos) << e.what();
+  }
+  MergedSummary summary;
+  EXPECT_THROW(DecodeArchiveSummary(archive, &summary), CampaignError);
+
+  // A *future* version is indistinguishable from corruption: false, not a throw.
+  archive[4] = 3;
+  EXPECT_FALSE(DecodeArchive(archive, &out));
+}
+
 // ---------------------------------------------------------------------------
 // Wire protocol.
 // ---------------------------------------------------------------------------

@@ -116,6 +116,31 @@ TEST(ShardCampusTest, BitIdenticalUnderTbr) {
   EXPECT_GT(serial.aggregate_bps, 0.0);
 }
 
+TEST(ShardCampusTest, WindowedMetrologyBitIdenticalAcrossThreadCounts) {
+  // Streaming metrology config: windowed series, sampled retention. The per-window
+  // merge tree (cells -> campus, sealed at barriers in fixed order) must keep the
+  // full readout - including every WindowStat and per-flow exact flag - bit-identical
+  // for any shard-thread count.
+  auto run = [](int threads) {
+    CampusConfig config = SmallCampusConfig(QdiscKind::kTbr);
+    config.cell.stats.window = Ms(100);
+    config.cell.stats.top_k = 3;
+    config.cell.stats.sample_every = 2;
+    CampusSim campus(config, threads);
+    campus.AddBss(MakeBss(2, Direction::kUplink, Transport::kTcp));
+    campus.AddBss(MakeBss(2, Direction::kDownlink, Transport::kTcp));
+    campus.AddBss(MakeBss(2, Direction::kDownlink, Transport::kUdp));
+    return campus.Run();
+  };
+  const CampusResults serial = run(1);
+  EXPECT_FALSE(serial.rtt_series.windows.empty());
+  EXPECT_FALSE(serial.ap_queue_delay_series.windows.empty());
+  EXPECT_GT(serial.rtt_sketch.count(), 0);  // Whole-run meters complete when windowed.
+  for (const int threads : {2, 4}) {
+    EXPECT_EQ(run(threads), serial) << threads;
+  }
+}
+
 TEST(ShardDeterminismTest, ThreadScheduleStability) {
   // Repeated multi-threaded runs exercise different OS thread schedules; the barrier
   // protocol must make every one of them produce the same bits.
