@@ -53,6 +53,12 @@ int main() {
       {"OAR-burst", scenario::QdiscKind::kOarBurst, false},
       {"TBR", scenario::QdiscKind::kTbr, false},
       {"TBR w=2 on n5", scenario::QdiscKind::kTbr, true},
+      // The adaptive time-share family: same regulator, different reallocation
+      // policies (see docs/schedulers.md). Appended so the stock rows above stay
+      // byte-comparable with earlier captures.
+      {"TBR-burst", scenario::QdiscKind::kTbrBurstCredit, false},
+      {"TBR-fast", scenario::QdiscKind::kTbrFastEwma, false},
+      {"TBR-hybrid", scenario::QdiscKind::kTbrCreditHybrid, false},
   };
   std::vector<sweep::ScenarioJob> jobs;
   for (const auto& c : cases) {

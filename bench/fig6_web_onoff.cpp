@@ -26,6 +26,13 @@ int main() {
   const std::pair<scenario::QdiscKind, const char*> notions[] = {
       {scenario::QdiscKind::kFifo, "Exp-Normal(RF)"},
       {scenario::QdiscKind::kTbr, "Exp-TBR(TF)"},
+      // Adaptive time-share contenders (docs/schedulers.md): bursty web traffic is
+      // where the stock regulator's 1/N cold-start tax bites, so this workload is the
+      // family's aggregate-throughput gate. Appended to keep the stock rows
+      // byte-comparable with earlier captures.
+      {scenario::QdiscKind::kTbrBurstCredit, "Exp-TBR-burst"},
+      {scenario::QdiscKind::kTbrFastEwma, "Exp-TBR-fast"},
+      {scenario::QdiscKind::kTbrCreditHybrid, "Exp-TBR-hybrid"},
   };
   constexpr uint64_t kSeeds[] = {1, 2};
 

@@ -50,6 +50,12 @@ int main() {
   const std::pair<scenario::QdiscKind, const char*> notions[] = {
       {scenario::QdiscKind::kFifo, "Exp-Normal(RF)"},
       {scenario::QdiscKind::kTbr, "Exp-TBR(TF)"},
+      // The adaptive family, racing stock TBR on the same capture: the scorecard rows
+      // docs/schedulers.md quotes. Appended after the stock pair so earlier captures
+      // of the first two rows stay byte-comparable.
+      {scenario::QdiscKind::kTbrBurstCredit, "Exp-TBR-burst"},
+      {scenario::QdiscKind::kTbrFastEwma, "Exp-TBR-fast"},
+      {scenario::QdiscKind::kTbrCreditHybrid, "Exp-TBR-hybrid"},
   };
 
   std::vector<sweep::ScenarioJob> jobs;

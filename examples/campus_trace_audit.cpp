@@ -105,6 +105,11 @@ int main() {
       {"today (DCF+FIFO)", scenario::QdiscKind::kFifo, false},
       {"with TBR", scenario::QdiscKind::kTbr, false},
       {"with TBR (work-conserving)", scenario::QdiscKind::kTbr, true},
+      // The adaptive time-share family racing on the audited capture (appended so the
+      // three rows above stay byte-comparable with earlier captures).
+      {"with TBR-burst", scenario::QdiscKind::kTbrBurstCredit, false},
+      {"with TBR-fast", scenario::QdiscKind::kTbrFastEwma, false},
+      {"with TBR-hybrid", scenario::QdiscKind::kTbrCreditHybrid, false},
   };
 
   std::vector<sweep::ScenarioJob> jobs;

@@ -124,13 +124,16 @@ constexpr uint32_t kMaxArchiveJobs = 1u << 24;
 constexpr uint32_t kMaxWindows = 1u << 20;
 
 // v2: jobs carry StatsConfig, FlowResults the `exact` flag, Results the windowed
-// meter series. Old-format payloads must not half-decode, so the payload magics are
-// bumped; the archive keeps its magic and bumps its version field instead, which is
-// what lets DecodeArchive diagnose a stale archive by name (codec.h).
-constexpr uint32_t kJobMagic = 0x43414a32;      // "CAJ2"
-constexpr uint32_t kResultsMagic = 0x43415232;  // "CAR2"
+// meter series. v3: TbrConfig grew the scheduler-family fields (mode, burst_credit,
+// demand_*, hybrid_debt_cap, contention_contenders), QdiscKind the three adaptive TBR
+// kinds, and Results the windowed goodput series. Old-format payloads must not
+// half-decode, so the payload magics are bumped; the archive keeps its magic and bumps
+// its version field instead, which is what lets DecodeArchive diagnose a stale archive
+// by name (codec.h).
+constexpr uint32_t kJobMagic = 0x43414a33;      // "CAJ3"
+constexpr uint32_t kResultsMagic = 0x43415233;  // "CAR3"
 constexpr uint32_t kArchiveMagic = 0x54424641;  // "TBFA"
-constexpr uint32_t kArchiveVersion = 2;
+constexpr uint32_t kArchiveVersion = 3;
 
 // ---------------------------------------------------------------------------
 // Enum codecs with range validation.
@@ -174,6 +177,13 @@ phy::MacTimings GetTimings(ByteReader& r) {
 }
 
 void PutTbr(ByteWriter& w, const core::TbrConfig& c) {
+  PutEnum(w, c.mode);
+  w.I64(c.burst_credit);
+  w.I64(c.demand_period);
+  w.F64(c.demand_alpha);
+  w.F64(c.demand_active_threshold);
+  w.I64(c.hybrid_debt_cap);
+  w.I32(c.contention_contenders);
   w.I64(c.fill_period);
   w.I64(c.bucket_depth);
   w.I64(c.initial_tokens);
@@ -192,8 +202,15 @@ void PutTbr(ByteWriter& w, const core::TbrConfig& c) {
   w.Bool(c.client_agent);
 }
 
-core::TbrConfig GetTbr(ByteReader& r) {
+core::TbrConfig GetTbr(ByteReader& r, bool* ok) {
   core::TbrConfig c;
+  c.mode = GetEnum<core::TbrMode>(r, 3, ok);
+  c.burst_credit = r.I64();
+  c.demand_period = r.I64();
+  c.demand_alpha = r.F64();
+  c.demand_active_threshold = r.F64();
+  c.hybrid_debt_cap = r.I64();
+  c.contention_contenders = r.I32();
   c.fill_period = r.I64();
   c.bucket_depth = r.I64();
   c.initial_tokens = r.I64();
@@ -301,8 +318,8 @@ void PutConfig(ByteWriter& w, const scenario::ScenarioConfig& c) {
 
 scenario::ScenarioConfig GetConfig(ByteReader& r, bool* ok) {
   scenario::ScenarioConfig c;
-  c.qdisc = GetEnum<scenario::QdiscKind>(r, 4, ok);
-  c.tbr = GetTbr(r);
+  c.qdisc = GetEnum<scenario::QdiscKind>(r, 7, ok);
+  c.tbr = GetTbr(r, ok);
   c.fifo_limit = static_cast<size_t>(r.U64());
   c.per_queue_limit = static_cast<size_t>(r.U64());
   c.timings = GetTimings(r);
@@ -460,6 +477,35 @@ bool GetSeries(ByteReader& r, stats::MeterSeries* out) {
   return r.ok();
 }
 
+void PutByteSeries(ByteWriter& w, const stats::ByteSeries& s) {
+  w.I64(s.window);
+  w.U32(static_cast<uint32_t>(s.windows.size()));
+  for (const stats::ByteWindow& bw : s.windows) {
+    w.I64(bw.start);
+    w.I64(bw.count);
+    w.I64(bw.bytes);
+  }
+}
+
+bool GetByteSeries(ByteReader& r, stats::ByteSeries* out) {
+  out->window = r.I64();
+  const uint32_t n = r.Count(kMaxWindows);
+  out->windows.reserve(n);
+  TimeNs prev = 0;
+  for (uint32_t i = 0; i < n && r.ok(); ++i) {
+    stats::ByteWindow bw;
+    bw.start = r.I64();
+    bw.count = r.I64();
+    bw.bytes = r.I64();
+    if (i > 0 && bw.start <= prev) {
+      return false;  // Sealed windows are strictly ascending by start.
+    }
+    prev = bw.start;
+    out->windows.push_back(bw);
+  }
+  return r.ok();
+}
+
 }  // namespace
 
 uint32_t Crc32(std::string_view data) {
@@ -585,6 +631,7 @@ std::string EncodeResults(const scenario::Results& results) {
   PutSeries(w, results.rtt_series);
   PutSeries(w, results.ap_queue_delay_series);
   PutSeries(w, results.task_latency_series);
+  PutByteSeries(w, results.goodput_series);
   return w.Take();
 }
 
@@ -625,7 +672,8 @@ bool DecodeResults(std::string_view data, scenario::Results* out) {
   }
   if (!GetSeries(r, &results.rtt_series) ||
       !GetSeries(r, &results.ap_queue_delay_series) ||
-      !GetSeries(r, &results.task_latency_series) || !r.AtEnd()) {
+      !GetSeries(r, &results.task_latency_series) ||
+      !GetByteSeries(r, &results.goodput_series) || !r.AtEnd()) {
     return false;
   }
   *out = std::move(results);

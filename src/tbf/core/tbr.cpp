@@ -28,14 +28,31 @@ TimeBasedRegulator::ClientState& TimeBasedRegulator::GetOrAssociate(NodeId clien
   st.tokens = config_.initial_tokens;
   st.id = client;
   total_weight_ += st.weight;
-  RecomputeFairRates();
+  if (rates_adjusted_ && total_weight_ > 0.0) {
+    // Late association after the adjuster has moved rates: give the newcomer its
+    // weighted fair share and scale everyone else down proportionally, preserving
+    // both the rate sum and the converged relative allocation. (Resetting everything
+    // to the static split here discarded all adjuster progress whenever a late flow's
+    // first packet auto-associated mid-run.)
+    const double share = st.weight / total_weight_;
+    for (ClientState& other : clients_) {
+      other.rate *= 1.0 - share;
+    }
+    st.rate = share;
+  } else {
+    RecomputeFairRates();
+  }
 
   if (!timers_started_) {
     timers_started_ = true;
     last_fill_ = sim_->Now();
     sim_->Schedule(config_.fill_period, [this] { FillEvent(); });
     if (config_.enable_rate_adjust) {
-      sim_->Schedule(config_.adjust_period, [this] { AdjustRateEvent(); });
+      if (config_.mode == TbrMode::kFastEwma) {
+        sim_->Schedule(config_.demand_period, [this] { DemandEvent(); });
+      } else {
+        sim_->Schedule(config_.adjust_period, [this] { AdjustRateEvent(); });
+      }
     }
   }
   return clients_[static_cast<size_t>(slot)];
@@ -52,9 +69,29 @@ void TimeBasedRegulator::RecomputeFairRates() {
 
 void TimeBasedRegulator::SetWeight(NodeId client, double weight) {
   ClientState& st = GetOrAssociate(client);
+  const double old_weight = st.weight;
   total_weight_ += weight - st.weight;
   st.weight = weight;
-  RecomputeFairRates();
+  if (!rates_adjusted_) {
+    RecomputeFairRates();
+    return;
+  }
+  // Adjusted regime: scale this client's rate with its weight change and renormalize,
+  // so the other clients keep their converged relative allocation instead of being
+  // reset to the static split.
+  st.rate = old_weight > 0.0 ? st.rate * (weight / old_weight)
+                             : weight / total_weight_;
+  double sum = 0.0;
+  for (const ClientState& other : clients_) {
+    sum += other.rate;
+  }
+  if (sum <= 0.0) {
+    RecomputeFairRates();
+    return;
+  }
+  for (ClientState& other : clients_) {
+    other.rate /= sum;
+  }
 }
 
 bool TimeBasedRegulator::Enqueue(net::PacketPtr packet) {
@@ -81,6 +118,37 @@ net::PacketPtr TimeBasedRegulator::Dequeue() {
       return st.queue.PopFront();
     }
   }
+  switch (config_.mode) {
+    case TbrMode::kStock:
+    case TbrMode::kFastEwma:
+      break;
+    case TbrMode::kBurstCredit: {
+      // Borrow pass: no in-credit client is waiting, so a client within its burst
+      // credit may spend unused airtime now and repay from its future fill. Same
+      // round-robin order as the strict pass, so borrowers take fair turns.
+      for (size_t i = 0; i < n; ++i) {
+        const size_t idx = next_ + i < n ? next_ + i : next_ + i - n;
+        ClientState& st = clients_[idx];
+        if (CanBorrow(st)) {
+          next_ = idx + 1 < n ? idx + 1 : 0;
+          return st.queue.PopFront();
+        }
+      }
+      return nullptr;
+    }
+    case TbrMode::kCreditHybrid: {
+      // Work-conserving fallback that keeps uplink regulation: serve the backlogged
+      // client closest to eligibility, but never release a throttled client's pure
+      // TCP acks and never serve past the debt cap.
+      ClientState* best = nullptr;
+      for (ClientState& st : clients_) {
+        if (HybridFallback(st) && (best == nullptr || st.tokens > best->tokens)) {
+          best = &st;
+        }
+      }
+      return best == nullptr ? nullptr : best->queue.PopFront();
+    }
+  }
   if (!config_.work_conserving_fallback) {
     return nullptr;
   }
@@ -100,11 +168,12 @@ net::PacketPtr TimeBasedRegulator::Dequeue() {
 
 bool TimeBasedRegulator::HasEligible() const {
   for (const ClientState& st : clients_) {
-    if (Eligible(st)) {
+    if (Serviceable(st)) {
       return true;
     }
   }
-  if (config_.work_conserving_fallback) {
+  if (config_.work_conserving_fallback &&
+      (config_.mode == TbrMode::kStock || config_.mode == TbrMode::kFastEwma)) {
     for (const ClientState& st : clients_) {
       if (!st.queue.empty()) {
         return true;
@@ -130,7 +199,13 @@ TimeNs TimeBasedRegulator::EstimateOccupancy(int mac_frame_bytes, phy::WifiRate 
     // contention the expected idle is roughly the solo expectation divided by the number
     // of contenders (minimum of independent uniform draws), so scale by the cell size;
     // what matters for fairness is that the estimate is applied uniformly to all nodes.
-    const auto contenders = static_cast<TimeNs>(std::max<size_t>(clients_.size(), 1));
+    // The divisor is pinned by contention_contenders where set: dividing by the
+    // currently-associated count makes the charge depend on association order (lazy
+    // association via Enqueue bills early packets as if the cell were smaller).
+    const auto contenders = static_cast<TimeNs>(
+        config_.contention_contenders > 0
+            ? static_cast<size_t>(config_.contention_contenders)
+            : std::max<size_t>(clients_.size(), 1));
     per_attempt += timings_.Difs() + (timings_.cw_min / 2) * timings_.slot / contenders;
   }
   return per_attempt * std::max(attempts, 1);
@@ -177,12 +252,12 @@ void TimeBasedRegulator::FillEvent() {
   last_fill_ = now;
   bool became_eligible = false;
   for (ClientState& st : clients_) {
-    const bool was = Eligible(st);
+    const bool was = Serviceable(st);
     st.tokens += static_cast<TimeNs>(st.rate * static_cast<double>(dt));
     if (st.tokens > config_.bucket_depth) {
       st.tokens = config_.bucket_depth;
     }
-    became_eligible = became_eligible || (!was && Eligible(st));
+    became_eligible = became_eligible || (!was && Serviceable(st));
   }
   if (became_eligible) {
     NotifyBacklog();
@@ -240,6 +315,7 @@ void TimeBasedRegulator::AdjustRateEvent() {
       for (ClientState* st : full) {
         st->rate += share;
       }
+      rates_adjusted_ = true;
     }
   }
 
@@ -271,6 +347,7 @@ void TimeBasedRegulator::AdjustRateEvent() {
         }
       }
       st->rate += want;
+      rates_adjusted_ = true;
     }
   }
 
@@ -278,6 +355,53 @@ void TimeBasedRegulator::AdjustRateEvent() {
     st.actual = 0;
   }
   sim_->Schedule(config_.adjust_period, [this] { AdjustRateEvent(); });
+}
+
+void TimeBasedRegulator::DemandEvent() {
+  // kFastEwma's replacement for ADJUSTRATEEVENT: a full reallocation every
+  // demand_period driven by per-client demand EWMAs, so a cell's shares track demand
+  // shifts in tens of milliseconds instead of the 500 ms epoch.
+  const double window = static_cast<double>(config_.demand_period);
+  double total_demand = 0.0;
+  double active_weight = 0.0;
+  size_t idle_count = 0;
+  for (ClientState& st : clients_) {
+    const double usage = static_cast<double>(st.actual) / window;
+    if (st.smoothed_usage < 0.0) {
+      st.smoothed_usage = usage;
+    }
+    st.smoothed_usage += config_.demand_alpha * (usage - st.smoothed_usage);
+    total_demand += st.smoothed_usage;
+    st.actual = 0;
+  }
+  for (ClientState& st : clients_) {
+    const bool active = !st.queue.empty() || st.tokens < 0 ||
+                        st.smoothed_usage >= config_.demand_active_threshold;
+    if (active) {
+      active_weight += st.weight;
+    } else {
+      ++idle_count;
+    }
+  }
+  const double idle_floor = config_.min_rate * static_cast<double>(idle_count);
+  if (total_demand >= config_.saturation_guard || active_weight <= 0.0 ||
+      idle_floor >= 1.0) {
+    // Saturated (or degenerate) cell: the estimator cannot distinguish low demand
+    // from invisible retries, so fall back to the paper's static weighted split -
+    // the same guard that stops the stock adjuster from bleeding busy nodes.
+    RecomputeFairRates();
+  } else {
+    // Idle clients keep min_rate so they can ramp back; active clients split the
+    // rest by weight. Second pass recomputes the active predicate identically.
+    for (ClientState& st : clients_) {
+      const bool active = !st.queue.empty() || st.tokens < 0 ||
+                          st.smoothed_usage >= config_.demand_active_threshold;
+      st.rate = active ? (st.weight / active_weight) * (1.0 - idle_floor)
+                       : config_.min_rate;
+    }
+    rates_adjusted_ = true;
+  }
+  sim_->Schedule(config_.demand_period, [this] { DemandEvent(); });
 }
 
 void TimeBasedRegulator::MaybePauseClient(const ClientState& st) {

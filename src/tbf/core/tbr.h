@@ -34,7 +34,35 @@
 
 namespace tbf::core {
 
+// Scheduling policy of the regulator. kStock is the paper's TBR; the other three are
+// the adaptive contenders raced in docs/schedulers.md, built to erase the "burst tax"
+// (equal 1/N initial shares penalize the first short burst in a mostly-idle cell until
+// the 500 ms adjuster converges) while keeping the paper's long-term time fairness.
+enum class TbrMode : int {
+  kStock = 0,
+  // A backlogged client may borrow channel time up to burst_credit beyond its bucket
+  // (tokens down to -burst_credit) - but only when no in-credit client is waiting, so
+  // the borrow spends otherwise-unused airtime. The debt repays from future fill before
+  // the client earns positive tokens again, and ack-withholding re-engages at the cap.
+  kBurstCredit = 1,
+  // Replaces the fixed 500 ms ADJUSTRATEEVENT with a demand-driven reallocation every
+  // demand_period (sub-100 ms): clients with live demand (backlog, debt, or smoothed
+  // usage above demand_active_threshold) split the channel by weight; idle clients keep
+  // min_rate so they can ramp back. Under saturation (total smoothed usage >=
+  // saturation_guard) shares revert to the static weighted fair split, so estimator
+  // noise cannot bleed share from busy nodes - the same guard the stock adjuster uses.
+  kFastEwma = 2,
+  // Packet-granularity work conservation that preserves uplink regulation: when no
+  // queue has positive tokens, serve the most-token backlogged queue *unless* its head
+  // packet is a pure TCP ack (an over-budget client's acks stay withheld, which is
+  // exactly the lever the stock work_conserving_fallback defeats) or its debt already
+  // exceeds hybrid_debt_cap.
+  kCreditHybrid = 3,
+};
+
 struct TbrConfig {
+  TbrMode mode = TbrMode::kStock;
+
   // Token bucket parameters.
   TimeNs fill_period = Ms(2);
   TimeNs bucket_depth = Ms(20);    // bucket_i: burst bound, affects short-term fairness.
@@ -68,9 +96,31 @@ struct TbrConfig {
   // option for the ablation bench.
   bool work_conserving_fallback = false;
 
+  // kBurstCredit: how far below zero a backlogged client's bucket may run while the
+  // channel would otherwise idle. Bounds both the free first burst and the repayment.
+  TimeNs burst_credit = Ms(150);
+
+  // kFastEwma: demand-event cadence and smoothing. A client counts as active while it
+  // is backlogged, in token debt, or its demand EWMA is at least the threshold
+  // (fraction of channel time).
+  TimeNs demand_period = Ms(50);
+  double demand_alpha = 0.3;
+  double demand_active_threshold = 0.02;
+
+  // kCreditHybrid: debt bound for the work-conserving fallback; a client deeper in
+  // debt is skipped even when the channel would idle, so one greedy queue cannot run
+  // away on free packets.
+  TimeNs hybrid_debt_cap = Ms(250);
+
   // Occupancy estimator.
   bool use_retry_info = false;  // Paper's implementation: false.
   bool charge_contention_overhead = true;
+  // Contenders assumed by the contention allowance. 0 = currently-associated count,
+  // which makes the per-packet charge depend on association order (lazy association
+  // via Enqueue charges early packets as if the cell were smaller). Scenario builders
+  // set this to the declared station count, making charges association-order
+  // invariant; identical to the legacy divisor for scenarios that associate upfront.
+  int contention_contenders = 0;
 
   // Queueing: per-client drop-tail limit (paper splits the stock 100-packet buffer).
   size_t per_queue_limit = 50;
@@ -101,6 +151,10 @@ class TimeBasedRegulator : public ap::Qdisc {
   // Weighted (QoS) shares; weights are normalized across associated clients.
   void SetWeight(NodeId client, double weight);
 
+  // Pins the contention-allowance divisor (see TbrConfig::contention_contenders).
+  // Scenario builders call this with the declared station count before traffic starts.
+  void SetContentionContenders(int n) { config_.contention_contenders = n; }
+
   // Client agent wiring (used when config.client_agent is true).
   void SetClientPauseFn(ClientPauseFn fn) { client_pause_ = std::move(fn); }
 
@@ -126,11 +180,36 @@ class TimeBasedRegulator : public ap::Qdisc {
 
   void FillEvent();
   void AdjustRateEvent();
+  void DemandEvent();
   void RecomputeFairRates();
   ClientState& GetOrAssociate(NodeId client);
   void Charge(NodeId client, TimeNs occupancy);
   void MaybePauseClient(const ClientState& st);
   bool Eligible(const ClientState& st) const { return !st.queue.empty() && st.tokens > 0; }
+  // A borrower in (-burst_credit, 0] may transmit when no in-credit client is waiting.
+  bool CanBorrow(const ClientState& st) const {
+    return !st.queue.empty() && st.tokens > -config_.burst_credit;
+  }
+  // Hybrid fallback candidate: backlogged, within the debt cap, and not leading with a
+  // pure TCP ack (over-budget acks stay withheld - the whole point of the hybrid).
+  bool HybridFallback(const ClientState& st) const {
+    return !st.queue.empty() && st.tokens > -config_.hybrid_debt_cap &&
+           st.queue.front()->proto != net::Proto::kTcpAck;
+  }
+  // Everything Dequeue() could serve right now; drives HasEligible() and the
+  // FillEvent edge detection that wakes the AP.
+  bool Serviceable(const ClientState& st) const {
+    switch (config_.mode) {
+      case TbrMode::kStock:
+      case TbrMode::kFastEwma:
+        return Eligible(st);
+      case TbrMode::kBurstCredit:
+        return CanBorrow(st);
+      case TbrMode::kCreditHybrid:
+        return Eligible(st) || HybridFallback(st);
+    }
+    return Eligible(st);
+  }
   // Dense slot lookup (clients never disassociate); -1 when the client is unknown.
   int32_t SlotOf(NodeId client) const {
     return client >= 0 && static_cast<size_t>(client) < slot_of_.size()
@@ -157,6 +236,11 @@ class TimeBasedRegulator : public ap::Qdisc {
   double total_weight_ = 0.0;  // Cached sum of weights (invariant: > 0 once non-empty).
   TimeNs last_fill_ = 0;
   bool timers_started_ = false;
+  // True once an adjust/demand event has moved any rate off the static fair split.
+  // While false, (re)association keeps the exact legacy RecomputeFairRates() values;
+  // afterwards late joiners renormalize proportionally instead of wiping the
+  // converged allocation (the late-association bugfix).
+  bool rates_adjusted_ = false;
 };
 
 }  // namespace tbf::core

@@ -78,6 +78,9 @@ struct CampusResults {
   stats::MeterSeries rtt_series;
   stats::MeterSeries ap_queue_delay_series;
   stats::MeterSeries task_latency_series;
+  // Campus-wide windowed goodput: bytes delivered per sealed window across every
+  // shard, folded at the same barriers as the latency series (exact integer sums).
+  stats::ByteSeries goodput_series;
 
   // Sharding telemetry (identical for every shard-thread count by construction).
   TimeNs lookahead = 0;               // Conservative window: min one-way backbone delay.

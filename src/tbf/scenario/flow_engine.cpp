@@ -32,7 +32,7 @@ TimeNs FlowEngine::InitFirstTask(TimeNs flow_start) {
 
 void FlowEngine::OnDelivered(int64_t bytes) {
   delivered_bytes += bytes;
-  stats->RecordBytes(flow_id, bytes);
+  stats->RecordBytes(flow_id, sim->Now(), bytes);
   // UDP tasks have no acks; they complete when the sink has delivered the task's
   // payload. (A datagram lost beyond the MAC's retries stalls the task - finite UDP
   // tasks are meant for configurations below the loss cliff.)

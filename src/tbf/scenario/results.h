@@ -129,6 +129,10 @@ struct Results {
   stats::MeterSeries rtt_series;
   stats::MeterSeries ap_queue_delay_series;
   stats::MeterSeries task_latency_series;
+  // Windowed goodput: delivered payload bytes per sealed window (same windowing as the
+  // latency series), so scheduler races can gate on throughput over time, not just
+  // latency percentiles.
+  stats::ByteSeries goodput_series;
 
   friend bool operator==(const Results&, const Results&) = default;
 

@@ -122,7 +122,7 @@ std::string ValidateScenario(const ScenarioConfig& config,
   if (config.timings.retry_limit < 1) {
     return "config: retry_limit must be >= 1";
   }
-  if (config.qdisc == QdiscKind::kTbr) {
+  if (IsTbrKind(config.qdisc)) {
     const core::TbrConfig& tbr = config.tbr;
     if (tbr.fill_period <= 0 || tbr.bucket_depth <= 0 || tbr.initial_tokens < 0) {
       return "config: TBR needs fill_period > 0, bucket_depth > 0, initial_tokens >= 0";
@@ -134,6 +134,30 @@ std::string ValidateScenario(const ScenarioConfig& config,
     }
     if (tbr.per_queue_limit == 0) {
       return "config: TBR per_queue_limit must be > 0";
+    }
+    if (tbr.contention_contenders < 0) {
+      return "config: TBR contention_contenders must be >= 0 (0 = associated count)";
+    }
+    switch (TbrModeForKind(config.qdisc, tbr.mode)) {
+      case core::TbrMode::kStock:
+        break;
+      case core::TbrMode::kBurstCredit:
+        if (tbr.burst_credit < 0) {
+          return "config: TBR burst_credit must be >= 0";
+        }
+        break;
+      case core::TbrMode::kFastEwma:
+        if (tbr.demand_period <= 0 || tbr.demand_alpha <= 0.0 ||
+            tbr.demand_alpha > 1.0 || tbr.demand_active_threshold < 0.0) {
+          return "config: TBR fast-EWMA needs demand_period > 0, demand_alpha in "
+                 "(0, 1], demand_active_threshold >= 0";
+        }
+        break;
+      case core::TbrMode::kCreditHybrid:
+        if (tbr.hybrid_debt_cap < 0) {
+          return "config: TBR hybrid_debt_cap must be >= 0";
+        }
+        break;
     }
   }
 
@@ -241,9 +265,14 @@ std::unique_ptr<ap::Qdisc> MakeQdisc(const ScenarioConfig& config, sim::Simulato
       return std::make_unique<ap::BurstRoundRobinQdisc>(
           [rates](NodeId client) { return phy::GetRateInfo(rates->CurrentRate(client)).bps; },
           Mbps(1), config.per_queue_limit);
-    case QdiscKind::kTbr: {
+    case QdiscKind::kTbr:
+    case QdiscKind::kTbrBurstCredit:
+    case QdiscKind::kTbrFastEwma:
+    case QdiscKind::kTbrCreditHybrid: {
+      core::TbrConfig tbr_config = config.tbr;
+      tbr_config.mode = TbrModeForKind(config.qdisc, config.tbr.mode);
       auto tbr = std::make_unique<core::TimeBasedRegulator>(sim, config.timings,
-                                                            config.tbr);
+                                                            tbr_config);
       *tbr_out = tbr.get();
       return tbr;
     }
@@ -304,6 +333,13 @@ void Wlan::Build() {
                                 &sim_, medium_.get(), spec.id, std::move(client_rates),
                                 demux_.get(), spec.queue_limit));
     ap_->Associate(spec.id);
+  }
+
+  // Pin the contention-allowance divisor to the declared cell size so per-packet
+  // charges never depend on association order. Identical to the legacy associated-
+  // count divisor here, because the loop above associates every station upfront.
+  if (tbr_ != nullptr && config_.tbr.contention_contenders == 0) {
+    tbr_->SetContentionContenders(static_cast<int>(station_specs_.size()));
   }
 
   if (tbr_ != nullptr && config_.tbr.client_agent) {
@@ -478,6 +514,7 @@ Results Wlan::Run() {
   results.rtt_series = stats_.series(stats::kRtt);
   results.ap_queue_delay_series = stats_.series(stats::kQueueDelay);
   results.task_latency_series = stats_.series(stats::kTaskLatency);
+  results.goodput_series = stats_.bytes_series();
 
   results.utilization =
       static_cast<double>(medium_->busy_time() - busy_at_warmup) / config_.duration;

@@ -33,7 +33,40 @@ namespace tbf::scenario {
 
 enum class Direction { kUplink, kDownlink };
 enum class Transport { kTcp, kUdp };
-enum class QdiscKind { kFifo, kRoundRobin, kDrr, kTbr, kOarBurst };
+// kTbr runs the paper's regulator with config.tbr as-is (including config.tbr.mode);
+// the kTbr* variants are the adaptive scheduler family from docs/schedulers.md - the
+// same regulator with the mode forced, so a sweep can race the contenders by kind
+// alone while sharing every other TBR knob.
+enum class QdiscKind {
+  kFifo,
+  kRoundRobin,
+  kDrr,
+  kTbr,
+  kOarBurst,
+  kTbrBurstCredit,
+  kTbrFastEwma,
+  kTbrCreditHybrid,
+};
+
+// True for every kind that builds a core::TimeBasedRegulator.
+inline bool IsTbrKind(QdiscKind kind) {
+  return kind == QdiscKind::kTbr || kind == QdiscKind::kTbrBurstCredit ||
+         kind == QdiscKind::kTbrFastEwma || kind == QdiscKind::kTbrCreditHybrid;
+}
+
+// The regulator mode a kind selects (kTbr defers to the config's own mode).
+inline core::TbrMode TbrModeForKind(QdiscKind kind, core::TbrMode config_mode) {
+  switch (kind) {
+    case QdiscKind::kTbrBurstCredit:
+      return core::TbrMode::kBurstCredit;
+    case QdiscKind::kTbrFastEwma:
+      return core::TbrMode::kFastEwma;
+    case QdiscKind::kTbrCreditHybrid:
+      return core::TbrMode::kCreditHybrid;
+    default:
+      return config_mode;
+  }
+}
 
 // What the application on top of a flow looks like.
 //  kBulk:         one transfer - unbounded when task_bytes == 0, a single finite task

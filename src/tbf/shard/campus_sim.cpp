@@ -288,6 +288,12 @@ void CampusSim::BuildCell(size_t index) {
     cell->ap->Associate(spec.id);
   }
 
+  // Same association-order invariance as the single-cell builder: the allowance
+  // divisor is this BSS's declared station count (all associated upfront above).
+  if (cell->tbr != nullptr && cc.tbr.contention_contenders == 0) {
+    cell->tbr->SetContentionContenders(static_cast<int>(bss.stations.size()));
+  }
+
   if (cell->tbr != nullptr && cc.tbr.client_agent) {
     CellShard* raw = cell.get();
     cell->tbr->SetClientPauseFn([raw](NodeId client, TimeNs until) {
@@ -365,9 +371,9 @@ void CampusSim::BuildFlows() {
         stats::StatsEngine* recv_stats = fs->uplink ? &core_->stats : &cell->stats;
         recv_stats->RegisterFlow(rt.flow_id);
         const int fid = rt.flow_id;
-        auto deliver = [fs_ptr, recv_stats, fid](int64_t bytes) {
+        auto deliver = [fs_ptr, recv_stats, recv_sim, fid](int64_t bytes) {
           fs_ptr->remote_delivered += bytes;
-          recv_stats->RecordBytes(fid, bytes);
+          recv_stats->RecordBytes(fid, recv_sim->Now(), bytes);
         };
         rt.tcp_sender = std::make_unique<net::TcpSender>(
             send_sim, send_pool, tcp, addr, fs->uplink ? cell_out : core_out);
@@ -572,6 +578,7 @@ scenario::CampusResults CampusSim::Run() {
     r.rtt_series = cell->stats.series(stats::kRtt);
     r.ap_queue_delay_series = cell->stats.series(stats::kQueueDelay);
     r.task_latency_series = cell->stats.series(stats::kTaskLatency);
+    r.goodput_series = cell->stats.bytes_series();
 
     r.utilization = static_cast<double>(cell->medium->busy_time() -
                                         cell->busy_at_warmup) /
@@ -605,6 +612,7 @@ scenario::CampusResults CampusSim::Run() {
   out.rtt_series = campus_stats_.series(stats::kRtt);
   out.ap_queue_delay_series = campus_stats_.series(stats::kQueueDelay);
   out.task_latency_series = campus_stats_.series(stats::kTaskLatency);
+  out.goodput_series = campus_stats_.bytes_series();
   return out;
 }
 

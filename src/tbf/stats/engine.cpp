@@ -57,7 +57,7 @@ const FlowStats* StatsEngine::flow(int flow_id) const {
   return const_cast<StatsEngine*>(this)->MutableFlow(flow_id);
 }
 
-void StatsEngine::RecordBytes(int flow_id, int64_t bytes) {
+void StatsEngine::RecordBytes(int flow_id, TimeNs now, int64_t bytes) {
   FlowStats* fs = MutableFlow(flow_id);
   if (fs == nullptr || bytes <= 0) {
     return;
@@ -67,6 +67,22 @@ void StatsEngine::RecordBytes(int flow_id, int64_t bytes) {
   if (config_.top_k > 0) {
     NoteBytesForRetention(*fs, bytes);
   }
+  AddBytes(now, bytes);
+}
+
+void StatsEngine::AddBytes(TimeNs now, int64_t bytes) {
+  // The byte meter is windowed-only: unwindowed runs already expose total_bytes() and
+  // the per-flow counted tier, so there is nothing distributional to keep.
+  if (config_.window <= 0) {
+    return;
+  }
+  const int64_t idx = now / config_.window;
+  if (auto_seal_ && !bytes_open_.empty() && bytes_open_.back().index < idx) {
+    SealBytes(idx, nullptr);
+  }
+  OpenBytes& w = OpenBytesAt(idx);
+  ++w.count;
+  w.bytes += bytes;
 }
 
 void StatsEngine::RecordTaskCompletion(int flow_id, TimeNs now, TimeNs duration) {
@@ -155,6 +171,7 @@ void StatsEngine::SealWindowsUpTo(TimeNs now, StatsEngine* parent) {
   for (int k = 0; k < kNumMeters; ++k) {
     SealMeter(static_cast<MeterKind>(k), limit, parent);
   }
+  SealBytes(limit, parent);
 }
 
 void StatsEngine::FlushAll(StatsEngine* parent) {
@@ -164,6 +181,9 @@ void StatsEngine::FlushAll(StatsEngine* parent) {
     } else if (parent != nullptr && !meters_[k].whole.empty()) {
       parent->meters_[k].whole.Merge(meters_[k].whole);
     }
+  }
+  if (config_.window > 0) {
+    SealBytes(std::numeric_limits<int64_t>::max(), parent);
   }
 }
 
@@ -190,10 +210,43 @@ void StatsEngine::SealMeter(MeterKind kind, int64_t limit_index, StatsEngine* pa
   }
 }
 
+void StatsEngine::SealBytes(int64_t limit_index, StatsEngine* parent) {
+  while (!bytes_open_.empty() && bytes_open_.front().index < limit_index) {
+    OpenBytes& w = bytes_open_.front();
+    bytes_sealed_.push_back(ByteWindow{w.index * config_.window, w.count, w.bytes});
+    if (parent != nullptr) {
+      OpenBytes& pw = parent->OpenBytesAt(w.index);
+      pw.count += w.count;
+      pw.bytes += w.bytes;
+    }
+    bytes_open_.pop_front();
+  }
+}
+
+StatsEngine::OpenBytes& StatsEngine::OpenBytesAt(int64_t index) {
+  if (bytes_open_.empty() || bytes_open_.back().index < index) {
+    bytes_open_.push_back(OpenBytes{index, 0, 0});
+    return bytes_open_.back();
+  }
+  auto it = std::lower_bound(bytes_open_.begin(), bytes_open_.end(), index,
+                             [](const OpenBytes& w, int64_t i) { return w.index < i; });
+  if (it == bytes_open_.end() || it->index != index) {
+    it = bytes_open_.insert(it, OpenBytes{index, 0, 0});
+  }
+  return *it;
+}
+
 MeterSeries StatsEngine::series(MeterKind kind) const {
   MeterSeries out;
   out.window = config_.window;
   out.windows = meters_[kind].sealed;
+  return out;
+}
+
+ByteSeries StatsEngine::bytes_series() const {
+  ByteSeries out;
+  out.window = config_.window;
+  out.windows = bytes_sealed_;
   return out;
 }
 
@@ -274,6 +327,8 @@ size_t StatsEngine::MemoryFootprintBytes() const {
     }
     total += m.sealed.capacity() * sizeof(WindowStat);
   }
+  total += bytes_open_.size() * sizeof(OpenBytes);
+  total += bytes_sealed_.capacity() * sizeof(ByteWindow);
   return total;
 }
 

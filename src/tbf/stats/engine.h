@@ -94,6 +94,27 @@ struct MeterSeries {
   friend bool operator==(const MeterSeries&, const MeterSeries&) = default;
 };
 
+// One sealed interval of the byte meter: deliveries and payload bytes recorded in
+// [start, start + series.window). Goodput over the window is bytes / window - exact
+// integer sums, so sharded merges are trivially bit-identical.
+struct ByteWindow {
+  TimeNs start = 0;
+  int64_t count = 0;
+  int64_t bytes = 0;
+
+  friend bool operator==(const ByteWindow&, const ByteWindow&) = default;
+};
+
+// Goodput time series: sealed byte windows ascending by start. Windows in which no
+// bytes were recorded are omitted. Empty when the run was not windowed - the latency
+// meters' MeterSeries contract, applied to throughput.
+struct ByteSeries {
+  TimeNs window = 0;
+  std::vector<ByteWindow> windows;
+
+  friend bool operator==(const ByteSeries&, const ByteSeries&) = default;
+};
+
 // The three run meters. Values are TimeNs samples (see FlowResult for semantics).
 enum MeterKind { kTaskLatency = 0, kRtt = 1, kQueueDelay = 2 };
 inline constexpr int kNumMeters = 3;
@@ -133,8 +154,10 @@ class StatsEngine {
   // same id twice is a no-op. Samples for unregistered ids are dropped.
   void RegisterFlow(int flow_id);
 
-  // Recording API - called from the owning shard's thread only.
-  void RecordBytes(int flow_id, int64_t bytes);
+  // Recording API - called from the owning shard's thread only. Delivered bytes feed
+  // the per-flow counted tier, the space-saving retention ranking, and - when the run
+  // is windowed - the goodput time series.
+  void RecordBytes(int flow_id, TimeNs now, int64_t bytes);
   void RecordTaskCompletion(int flow_id, TimeNs now, TimeNs duration);
   void RecordRtt(int flow_id, TimeNs now, TimeNs sample);
   void RecordQueueDelay(int flow_id, TimeNs now, TimeNs delay);
@@ -167,6 +190,11 @@ class StatsEngine {
   // Percentile time series of sealed windows (empty when window == 0 or before any
   // seal). Stable across shard counts by the seal-order contract above.
   MeterSeries series(MeterKind kind) const;
+
+  // Goodput time series of sealed byte windows; same windowing, sealing, and
+  // merge-order contract as the latency series (byte sums are exact, so the campus
+  // series is bit-identical for any shard count by construction).
+  ByteSeries bytes_series() const;
 
   // Per-flow readout; nullptr when the id was never registered here.
   const FlowStats* flow(int flow_id) const;
@@ -201,11 +229,20 @@ class StatsEngine {
     int64_t estimate = 0;
     int64_t overcount = 0;
   };
+  // Open (unsealed) byte window; index * window = start.
+  struct OpenBytes {
+    int64_t index = 0;
+    int64_t count = 0;
+    int64_t bytes = 0;
+  };
 
   FlowStats* MutableFlow(int flow_id);
   void AddSample(MeterKind kind, TimeNs now, double value);
+  void AddBytes(TimeNs now, int64_t bytes);
   QuantileSketch& OpenAt(Meter& m, int64_t index);
+  OpenBytes& OpenBytesAt(int64_t index);
   void SealMeter(MeterKind kind, int64_t limit_index, StatsEngine* parent);
+  void SealBytes(int64_t limit_index, StatsEngine* parent);
   void NoteBytesForRetention(FlowStats& fs, int64_t bytes);
   void DropExactTier(FlowStats& fs);
   static uint64_t Mix(uint64_t seed, uint64_t flow_id);
@@ -222,6 +259,9 @@ class StatsEngine {
   int64_t total_bytes_ = 0;
 
   Meter meters_[kNumMeters];
+  // Byte meter: open windows ascending by index, sealed goodput series.
+  std::deque<OpenBytes> bytes_open_;
+  std::vector<ByteWindow> bytes_sealed_;
 };
 
 }  // namespace tbf::stats

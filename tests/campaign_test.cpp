@@ -149,8 +149,10 @@ TEST(CampaignCodecTest, WindowedResultsRoundTripExactly) {
 
     const scenario::Results results = sweep::RunScenarioJob(ToScenarioJob(job));
     // Smoke-grid flows push downlink data through the AP qdisc, so the queue-delay
-    // meter is guaranteed samples (the flows are unbounded bulk - no task series).
+    // meter is guaranteed samples (the flows are unbounded bulk - no task series),
+    // and delivered bytes populate the windowed goodput series (v3 section).
     EXPECT_FALSE(results.ap_queue_delay_series.windows.empty());
+    EXPECT_FALSE(results.goodput_series.windows.empty());
     const std::string blob = EncodeResults(results);
     scenario::Results back;
     ASSERT_TRUE(DecodeResults(blob, &back));
@@ -159,18 +161,50 @@ TEST(CampaignCodecTest, WindowedResultsRoundTripExactly) {
   }
 }
 
+TEST(CampaignCodecTest, AdaptiveTbrConfigRoundTripsExactly) {
+  // The v3 layout added the adaptive scheduler family: TbrMode plus its knobs lead the
+  // TBR section, and the qdisc enum grew three kinds. Non-default values for every new
+  // field must survive the round trip bit for bit.
+  Manifest manifest = SmallManifest(1);
+  CampaignJob job = manifest.jobs[0];
+  job.config.qdisc = scenario::QdiscKind::kTbrCreditHybrid;
+  job.config.tbr.mode = core::TbrMode::kCreditHybrid;
+  job.config.tbr.burst_credit = Ms(123);
+  job.config.tbr.demand_period = Ms(25);
+  job.config.tbr.demand_alpha = 0.45;
+  job.config.tbr.demand_active_threshold = 0.05;
+  job.config.tbr.hybrid_debt_cap = Ms(321);
+  job.config.tbr.contention_contenders = 7;
+  const std::string blob = EncodeJob(job);
+  CampaignJob back;
+  ASSERT_TRUE(DecodeJob(blob, &back));
+  EXPECT_EQ(back, job);
+  EXPECT_EQ(EncodeJob(back), blob);
+
+  // The other two new qdisc kinds sit at the top of the widened enum range
+  // (QdiscKind ceiling 7, TbrMode ceiling 3) - they must decode as themselves.
+  for (const auto kind : {scenario::QdiscKind::kTbrBurstCredit,
+                          scenario::QdiscKind::kTbrFastEwma}) {
+    CampaignJob j = manifest.jobs[0];
+    j.config.qdisc = kind;
+    CampaignJob b;
+    ASSERT_TRUE(DecodeJob(EncodeJob(j), &b));
+    EXPECT_EQ(b.config.qdisc, kind);
+  }
+}
+
 TEST(CampaignCodecTest, PreWindowedPayloadMagicsAreRejected) {
   const Manifest manifest = SmallManifest(1);
   // v1 blobs led with "CAJ1"/"CAR1"; a v2 decoder must reject them outright rather
   // than misparse the old layout.
   std::string job_blob = EncodeJob(manifest.jobs[0]);
-  job_blob[3] = '1';  // "CAJ2" -> "CAJ1" (little-endian: byte 3 is the high byte).
+  job_blob[3] = '1';  // "CAJ3" -> "CAJ1" (little-endian: byte 3 is the high byte).
   CampaignJob job_out;
   EXPECT_FALSE(DecodeJob(job_blob, &job_out));
 
   std::string results_blob =
       EncodeResults(sweep::RunScenarioJob(ToScenarioJob(manifest.jobs[0])));
-  results_blob[3] = '1';  // "CAR2" -> "CAR1".
+  results_blob[3] = '1';  // "CAR3" -> "CAR1".
   scenario::Results results_out;
   EXPECT_FALSE(DecodeResults(results_blob, &results_out));
 }
@@ -194,7 +228,7 @@ TEST(CampaignCodecTest, StaleArchiveVersionThrowsNamingTheVersion) {
   EXPECT_THROW(DecodeArchiveSummary(archive, &summary), CampaignError);
 
   // A *future* version is indistinguishable from corruption: false, not a throw.
-  archive[4] = 3;
+  archive[4] = 4;
   EXPECT_FALSE(DecodeArchive(archive, &out));
 }
 

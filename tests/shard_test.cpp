@@ -116,6 +116,19 @@ TEST(ShardCampusTest, BitIdenticalUnderTbr) {
   EXPECT_GT(serial.aggregate_bps, 0.0);
 }
 
+TEST(ShardCampusTest, BitIdenticalUnderAdaptiveTbrFamily) {
+  // The adaptive modes add per-mode state (borrow passes, the 50 ms demand timer, the
+  // protocol-aware fallback); each must hold the same cross-thread determinism bar as
+  // stock TBR.
+  for (const QdiscKind qdisc : {QdiscKind::kTbrBurstCredit, QdiscKind::kTbrFastEwma,
+                                QdiscKind::kTbrCreditHybrid}) {
+    const CampusResults serial = RunSmallCampus(1, qdisc);
+    const CampusResults four = RunSmallCampus(4, qdisc);
+    EXPECT_EQ(serial, four) << "qdisc=" << static_cast<int>(qdisc);
+    EXPECT_GT(serial.aggregate_bps, 0.0) << "qdisc=" << static_cast<int>(qdisc);
+  }
+}
+
 TEST(ShardCampusTest, WindowedMetrologyBitIdenticalAcrossThreadCounts) {
   // Streaming metrology config: windowed series, sampled retention. The per-window
   // merge tree (cells -> campus, sealed at barriers in fixed order) must keep the

@@ -140,6 +140,7 @@ StatsEngine RunShardedMergeTree(const std::vector<Sample>& stream, int flows,
       StatsEngine& child = children[static_cast<size_t>(s.flow_id % shards)];
       child.RecordRtt(s.flow_id, s.at, s.value);
       child.RecordTaskCompletion(s.flow_id, s.at, s.value * 3);
+      child.RecordBytes(s.flow_id, s.at, s.value);  // Bytes ride the same windows.
     }
     for (StatsEngine& child : children) {
       child.SealWindowsUpTo(t, &parent);
@@ -166,12 +167,42 @@ TEST(StatsEngineTest, MergeTreeIsInvariantToShardCountAndBarrierCadence) {
     EXPECT_EQ(sharded.series(kTaskLatency), serial.series(kTaskLatency)) << shards;
     EXPECT_EQ(sharded.meter(kRtt), serial.meter(kRtt)) << shards;
     EXPECT_EQ(sharded.meter(kTaskLatency), serial.meter(kTaskLatency)) << shards;
+    EXPECT_EQ(sharded.bytes_series(), serial.bytes_series()) << shards;
   }
   // Barrier cadence must not matter either: windows seal by index, not by when the
   // coordinator got around to sealing them.
   const StatsEngine coarse = RunShardedMergeTree(stream, kFlows, 4, Ms(500), kSpan);
   EXPECT_EQ(coarse.series(kRtt), serial.series(kRtt));
   EXPECT_EQ(coarse.meter(kRtt), serial.meter(kRtt));
+  EXPECT_EQ(coarse.bytes_series(), serial.bytes_series());
+  // The goodput series is exact integer bookkeeping, so check it against ground truth
+  // too: per-window record counts and byte sums over the raw stream.
+  std::map<int64_t, ByteWindow> truth;
+  for (const Sample& s : stream) {
+    ByteWindow& w = truth[s.at / Ms(50)];
+    w.start = (s.at / Ms(50)) * Ms(50);
+    ++w.count;
+    w.bytes += s.value;
+  }
+  const ByteSeries series = serial.bytes_series();
+  EXPECT_EQ(series.window, Ms(50));
+  ASSERT_EQ(series.windows.size(), truth.size());
+  size_t i = 0;
+  for (const auto& [index, expect] : truth) {
+    EXPECT_EQ(series.windows[i], expect) << "window " << index;
+    ++i;
+  }
+}
+
+TEST(StatsEngineTest, GoodputSeriesEmptyWithoutWindowing) {
+  // window == 0 keeps RecordBytes feeding only the heavy-hitter totals; the series
+  // stays empty rather than accumulating one unbounded pseudo-window.
+  StatsEngine engine(Windowed(0, /*top_k=*/2));
+  engine.RegisterFlow(1);
+  engine.RecordBytes(1, Ms(5), 1000);
+  engine.FlushAll();
+  EXPECT_TRUE(engine.bytes_series().windows.empty());
+  EXPECT_EQ(engine.total_bytes(), 1000);
 }
 
 TEST(StatsEngineTest, SpaceSavingHonorsErrorBoundOnParetoMix) {
@@ -201,7 +232,7 @@ TEST(StatsEngineTest, SpaceSavingHonorsErrorBoundOnParetoMix) {
     }
     std::shuffle(order.begin(), order.end(), rng);
     for (int f : order) {
-      engine.RecordBytes(f, chunk[static_cast<size_t>(f)]);
+      engine.RecordBytes(f, 0, chunk[static_cast<size_t>(f)]);
       truth[static_cast<size_t>(f)] += chunk[static_cast<size_t>(f)];
     }
   }
@@ -271,7 +302,7 @@ TEST(StatsEngineTest, UniformSampleIsSeededAndEngineIndependent) {
   for (int round = 0; round < 100; ++round) {
     for (int f = 1; f <= 64; ++f) {
       if (f != pinned) {
-        a.RecordBytes(f, 1 << 20);
+        a.RecordBytes(f, 0, 1 << 20);
       }
     }
   }
@@ -331,6 +362,7 @@ TEST(StatsEngineSweepTest, WindowedSweepIsBitIdenticalAcrossPoolSizes) {
   for (const scenario::Results& r : serial) {
     // The streaming readout is live: series present, whole-run meters complete.
     EXPECT_FALSE(r.task_latency_series.windows.empty());
+    EXPECT_FALSE(r.goodput_series.windows.empty());
     EXPECT_GT(r.task_latency_sketch.count(), 0);
   }
   for (int pool : {2, 4}) {

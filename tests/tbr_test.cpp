@@ -273,6 +273,94 @@ TEST_F(TbrTest, AdjustEventDonatesFromPersistentUnderUtilizer) {
   EXPECT_NEAR(tbr.rate(1) + tbr.rate(2), 1.0, 1e-9);
 }
 
+TEST_F(TbrTest, LateJoinPreservesConvergedRates) {
+  // Regression: GetOrAssociate used to call RecomputeFairRates unconditionally, so a
+  // client joining after the adjuster had converged wiped the learned allocation back
+  // to the static 1/N split. A newcomer must take only its fair share, scaling the
+  // converged rates down proportionally.
+  TbrConfig config;
+  config.adjust_period = Ms(100);
+  config.usage_ewma_alpha = 1.0;
+  auto tbr = MakeTbr(config);
+  tbr.OnAssociate(1);
+  tbr.OnAssociate(2);
+  // Client 1 idles; client 2 saturates its assignment, so the adjuster donates to it.
+  for (int window = 0; window < 8; ++window) {
+    const TimeNs target = sim_.Now() + Ms(100);
+    while (tbr.actual_usage(2) < Ms(50)) {
+      tbr.OnTxComplete(MakeFrame(2, 1500, phy::WifiRate::k11Mbps), true, 1, 0);
+    }
+    sim_.RunUntil(target);
+  }
+  const double converged_1 = tbr.rate(1);
+  const double converged_2 = tbr.rate(2);
+  ASSERT_LT(converged_1, 0.4);  // The adjuster visibly moved the allocation.
+  ASSERT_GT(converged_2, 0.6);
+
+  tbr.OnAssociate(3);
+  // The newcomer gets the static fair share; incumbents keep their converged ratio.
+  EXPECT_NEAR(tbr.rate(3), 1.0 / 3, 1e-12);
+  EXPECT_NEAR(tbr.rate(1) / tbr.rate(2), converged_1 / converged_2, 1e-9);
+  EXPECT_NEAR(tbr.rate(1), converged_1 * (2.0 / 3), 1e-9);
+  EXPECT_NEAR(tbr.rate(1) + tbr.rate(2) + tbr.rate(3), 1.0, 1e-9);
+
+  // SetWeight had the same bug: re-weighting one client must rescale, not reset.
+  const double before_1 = tbr.rate(1);
+  const double before_3 = tbr.rate(3);
+  tbr.SetWeight(3, 2.0);
+  EXPECT_NEAR(tbr.rate(3) / tbr.rate(1), 2.0 * before_3 / before_1, 1e-9);
+  EXPECT_NEAR(tbr.rate(1) + tbr.rate(2) + tbr.rate(3), 1.0, 1e-9);
+}
+
+TEST_F(TbrTest, PinnedContendersMakeChargesAssociationInvariant) {
+  // Regression: the contention allowance divided by clients_.size(), so identical
+  // traffic drained different token amounts depending on whether peers had already
+  // associated (lazy association via Enqueue vs upfront OnAssociate). With the
+  // contender count pinned to the scenario's station count the charge is invariant.
+  TbrConfig config;
+  config.contention_contenders = 3;
+  auto tbr = MakeTbr(config);
+  tbr.OnAssociate(1);
+  const TimeNs solo = tbr.EstimateOccupancy(1536, phy::WifiRate::k11Mbps, 1);
+  tbr.OnAssociate(2);
+  tbr.OnAssociate(3);
+  EXPECT_EQ(tbr.EstimateOccupancy(1536, phy::WifiRate::k11Mbps, 1), solo);
+
+  // Upfront association and lazy association now bill the same traffic identically.
+  auto run_order = [&](bool lazy) {
+    auto t = MakeTbr(config);
+    t.OnAssociate(1);
+    if (!lazy) {
+      t.OnAssociate(2);
+      t.OnAssociate(3);
+    }
+    t.OnTxComplete(MakeFrame(1, 1500, phy::WifiRate::k11Mbps), true, 1, 0);
+    if (lazy) {
+      t.OnAssociate(2);
+      t.OnAssociate(3);
+    }
+    t.OnTxComplete(MakeFrame(1, 1500, phy::WifiRate::k11Mbps), true, 1, 0);
+    return t.config().initial_tokens - t.tokens(1);
+  };
+  EXPECT_EQ(run_order(false), run_order(true));
+
+  // And full association-order permutations leave every client's drain identical:
+  // the regulator's results are a function of the traffic, not of join order.
+  auto run_perm = [&](const std::vector<NodeId>& order) {
+    auto t = MakeTbr(config);
+    for (const NodeId id : order) {
+      t.OnAssociate(id);
+    }
+    std::vector<TimeNs> drains;
+    for (const NodeId id : {1, 2, 3}) {
+      t.OnTxComplete(MakeFrame(id, 1500, phy::WifiRate::k11Mbps), true, 1, 0);
+      drains.push_back(t.config().initial_tokens - t.tokens(id));
+    }
+    return drains;
+  };
+  EXPECT_EQ(run_perm({1, 2, 3}), run_perm({3, 1, 2}));
+}
+
 TEST_F(TbrTest, WeightedSharesScaleRates) {
   auto tbr = MakeTbr();
   tbr.OnAssociate(1);

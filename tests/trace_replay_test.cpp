@@ -254,6 +254,26 @@ TEST(TraceReplaySweepTest, ReplayResultsBitIdenticalAcrossPoolSizes) {
 
 // ---- TBR short-burst initial-share tax --------------------------------------------------
 
+// The burst-tax microcell shared by the stock pin and the adaptive-scheduler checks:
+// one active client bursting against one associated-but-idle donor, six 150 kB tasks
+// with 50 ms think gaps. Returns the per-task durations of the active flow.
+std::vector<TimeNs> RunBurstCell(QdiscKind kind) {
+  ScenarioConfig config;
+  config.qdisc = kind;
+  config.warmup = 0;
+  config.duration = Sec(25);
+  Wlan wlan(config);
+  wlan.AddStation(1, phy::WifiRate::k11Mbps);
+  wlan.AddStation(2, phy::WifiRate::k11Mbps);  // Associated but idle: the 1/N donor.
+  FlowSpec& seq = wlan.AddTaskSequence(1, Direction::kDownlink, 150'000, /*count=*/6);
+  // Short gaps keep the flow's demand visible to the adjuster; longer idle gaps make
+  // the EWMA bleed the donated share back and the tail tax plateaus near 1.35x.
+  seq.task_gap = Ms(50);
+  const Results res = wlan.Run();
+  EXPECT_EQ(res.flows.size(), 1u);
+  return res.flows.front().task_durations;
+}
+
 TEST(TbrBurstTaxTest, FirstBurstPaysInitialShareTaxUntilAdjusterConverges) {
   // ROADMAP "known behavior": TBR hands every associated client an equal initial time
   // share, so in a mostly-idle cell the first short burst of an active client runs at
@@ -262,25 +282,8 @@ TEST(TbrBurstTaxTest, FirstBurstPaysInitialShareTaxUntilAdjusterConverges) {
   // burst once rates have converged, and than the unregulated (FIFO) cell, which shows
   // only TCP slow start. A burst-credit experiment must shrink tbr_first without
   // regressing tbr_last.
-  auto run = [](QdiscKind kind) {
-    ScenarioConfig config;
-    config.qdisc = kind;
-    config.warmup = 0;
-    config.duration = Sec(25);
-    Wlan wlan(config);
-    wlan.AddStation(1, phy::WifiRate::k11Mbps);
-    wlan.AddStation(2, phy::WifiRate::k11Mbps);  // Associated but idle: the 1/N donor.
-    FlowSpec& seq = wlan.AddTaskSequence(1, Direction::kDownlink, 150'000, /*count=*/6);
-    // Short gaps keep the flow's demand visible to the adjuster; longer idle gaps make
-    // the EWMA bleed the donated share back and the tail tax plateaus near 1.35x.
-    seq.task_gap = Ms(50);
-    const Results res = wlan.Run();
-    EXPECT_EQ(res.flows.size(), 1u);
-    return res.flows.front().task_durations;
-  };
-
-  const std::vector<TimeNs> tbr = run(QdiscKind::kTbr);
-  const std::vector<TimeNs> fifo = run(QdiscKind::kFifo);
+  const std::vector<TimeNs> tbr = RunBurstCell(QdiscKind::kTbr);
+  const std::vector<TimeNs> fifo = RunBurstCell(QdiscKind::kFifo);
   ASSERT_EQ(tbr.size(), 6u);
   ASSERT_EQ(fifo.size(), 6u);
 
@@ -296,6 +299,74 @@ TEST(TbrBurstTaxTest, FirstBurstPaysInitialShareTaxUntilAdjusterConverges) {
   // ...so the first burst is the slow outlier within the TBR run itself.
   EXPECT_GT(static_cast<double>(tbr.front()),
             1.2 * static_cast<double>(tbr.back()));
+}
+
+TEST(TbrBurstTaxTest, AdaptiveSchedulersEraseFirstBurstTax) {
+  // The bar the adaptive family was built to clear: every contender's cold first burst
+  // lands within 1.2x of the unregulated FIFO cell (stock TBR pays 1.66x above), and
+  // the later bursts stay converged - adaptivity must not trade the head tax for a
+  // tail one.
+  const std::vector<TimeNs> fifo = RunBurstCell(QdiscKind::kFifo);
+  ASSERT_EQ(fifo.size(), 6u);
+  for (const QdiscKind kind : {QdiscKind::kTbrBurstCredit, QdiscKind::kTbrFastEwma,
+                               QdiscKind::kTbrCreditHybrid}) {
+    const std::vector<TimeNs> adaptive = RunBurstCell(kind);
+    ASSERT_EQ(adaptive.size(), 6u) << "qdisc=" << static_cast<int>(kind);
+    const double tax_first =
+        static_cast<double>(adaptive.front()) / static_cast<double>(fifo.front());
+    const double tax_last =
+        static_cast<double>(adaptive.back()) / static_cast<double>(fifo.back());
+    EXPECT_LE(tax_first, 1.2) << "qdisc=" << static_cast<int>(kind)
+                              << " still pays the cold-start burst tax";
+    EXPECT_LT(tax_last, 1.25) << "qdisc=" << static_cast<int>(kind)
+                              << " regressed converged bursts";
+  }
+}
+
+// Same grid as ReplayGrid but over the adaptive TBR family: the new modes add borrow
+// passes, a 50 ms demand timer, and a head-of-line protocol check, each a fresh chance
+// to leak pool-order dependence. Pools 1/2/4 must stay bit-identical.
+TEST(TraceReplaySweepTest, AdaptiveSchedulerFamilyBitIdenticalAcrossPoolSizes) {
+  const trace::TraceLog log = SmallWorkshopTrace(23);
+  trace::ReplayOptions options;
+  options.horizon = Sec(30);
+  const trace::TraceReplaySource source(log, options);
+
+  std::vector<sweep::ScenarioJob> jobs;
+  for (const QdiscKind qdisc : {QdiscKind::kTbrBurstCredit, QdiscKind::kTbrFastEwma,
+                                QdiscKind::kTbrCreditHybrid}) {
+    sweep::ScenarioJob job;
+    job.config.qdisc = qdisc;
+    job.config.warmup = 0;
+    job.config.duration = Sec(45);
+    job.config.seed = 5;
+    for (NodeId id = 1; id <= 3; ++id) {
+      StationSpec station;
+      station.id = id;
+      station.rate = id == 1 ? phy::WifiRate::k2Mbps : phy::WifiRate::k11Mbps;
+      job.stations.push_back(station);
+    }
+    for (const trace::ReplayFlow& flow : source.flows()) {
+      job.flows.push_back(MakeTraceReplaySpec(flow));
+    }
+    jobs.push_back(std::move(job));
+  }
+
+  sweep::SweepRunner serial(1);
+  const std::vector<Results> reference = serial.RunScenarios(jobs);
+  ASSERT_EQ(reference.size(), jobs.size());
+  for (const Results& r : reference) {
+    EXPECT_GT(r.tasks_completed, 0);
+    EXPECT_GT(r.task_latency.count, 0);
+  }
+  for (const int pool_size : {2, 4}) {
+    sweep::SweepRunner parallel(pool_size);
+    const std::vector<Results> out = parallel.RunScenarios(jobs);
+    ASSERT_EQ(out.size(), reference.size());
+    for (size_t i = 0; i < out.size(); ++i) {
+      EXPECT_EQ(out[i], reference[i]) << "pool=" << pool_size << " job=" << i;
+    }
+  }
 }
 
 }  // namespace
